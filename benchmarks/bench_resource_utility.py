@@ -1,0 +1,59 @@
+"""Experiment R1 — §VI-A resource utility.
+
+Paper numbers (Vivado report, one HEVM on an XCZU15EV): 103,388 LUTs,
+37,104 FFs, 509 KB BlockRAM; LUT budget allows three HEVMs.  Hypervisor:
+156 KB binary + 92 KB peak stack + 0 heap = 248 KB within the 256 KB OCM.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.resources import (
+    HEVM_COMPONENTS,
+    HypervisorMemoryBudget,
+    XCZU15EV,
+    hevm_resources,
+    max_hevms,
+    shared_resources,
+)
+
+from conftest import record_result
+
+
+def test_resource_utility(benchmark):
+    per_hevm = benchmark(hevm_resources)
+    count, bottleneck = max_hevms()
+    shared = shared_resources()
+    budget = HypervisorMemoryBudget()
+
+    lines = [
+        "| metric | paper | model |",
+        "|---|---|---|",
+        f"| LUTs per HEVM | 103,388 | {per_hevm.luts:,} |",
+        f"| FFs per HEVM | 37,104 | {per_hevm.ffs:,} |",
+        f"| BlockRAM per HEVM | 509 KB | {per_hevm.bram_bytes // 1024} KB |",
+        f"| HEVMs per chip | 3 (LUT-bound) | {count} ({bottleneck}-bound) |",
+        f"| Hypervisor binary | 156 KB | {budget.binary_kb} KB |",
+        f"| Hypervisor stack peak | 92 KB | {budget.peak_stack_kb} KB |",
+        f"| Hypervisor heap | 0 | {budget.heap_kb} |",
+        f"| Total vs 256 KB OCM | 248 KB, fits | {budget.total_kb} KB, "
+        f"{'fits' if budget.fits else 'OVERFLOWS'} |",
+        "",
+        "Per-HEVM component budget:",
+    ]
+    for name, vector in HEVM_COMPONENTS.items():
+        lines.append(
+            f"  {name:18s} {vector.luts:>7,} LUT {vector.ffs:>7,} FF "
+            f"{vector.bram_bytes // 1024:>5} KB BRAM"
+        )
+    lines.append(
+        f"  shared (per chip)  {shared.luts:>7,} LUT {shared.ffs:>7,} FF "
+        f"{shared.bram_bytes // 1024:>5} KB BRAM"
+    )
+    record_result("resource_utility", "§VI-A resource utility", lines)
+
+    assert per_hevm.luts == 103_388
+    assert per_hevm.ffs == 37_104
+    assert per_hevm.bram_bytes == 509 * 1024
+    assert (count, bottleneck) == (3, "LUT")
+    assert 4 * per_hevm.luts > XCZU15EV.luts  # a fourth core cannot fit
+    assert budget.total_kb == 248 and budget.fits

@@ -1,0 +1,140 @@
+"""Experiment SEC — §V empirical security.
+
+Three adversary experiments with real system traces:
+
+1. **Frequency analysis (A7, §I strawman).**  The same skewed workload
+   runs against (a) an encrypted-but-deterministic K-V store and (b) the
+   Path ORAM store.  The attack de-anonymizes (a) completely and gets
+   nothing from (b).
+2. **Path uniformity (A7).**  Chi-square test that ORAM leaf choices are
+   uniform and independent of the (maximally skewed) logical workload.
+3. **Swap-size recovery (A5).**  Mutual information between true frame
+   page counts and the noised swap-bus counts, with and without the
+   random pre-evict/pre-load noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.kdf import Drbg
+from repro.oram.client import PathOramClient
+from repro.oram.encrypted_store import EncryptedKvStore
+from repro.oram.server import OramServer
+from repro.security.analysis import (
+    frequency_attack,
+    path_uniformity_pvalue,
+    size_leakage,
+)
+from repro.security.observer import AccessPatternObserver
+
+from conftest import record_result
+
+# A Zipf-ish skewed workload over 8 keys, mirroring hot contracts.
+KEY_FREQUENCIES = [120, 60, 30, 15, 8, 4, 2, 1]
+
+
+def _workload(rng: Drbg) -> list[bytes]:
+    accesses = []
+    for index, count in enumerate(KEY_FREQUENCIES):
+        accesses += [b"contract-%d" % index] * count
+    # Deterministic shuffle.
+    for i in range(len(accesses) - 1, 0, -1):
+        j = rng.randint(i + 1)
+        accesses[i], accesses[j] = accesses[j], accesses[i]
+    return accesses
+
+
+@pytest.fixture(scope="module")
+def traces():
+    rng = Drbg(b"sec-bench")
+    workload = _workload(rng.fork(b"shuffle"))
+
+    # (a) Encrypted-only store.
+    store = EncryptedKvStore(b"k" * 32)
+    for key in sorted(set(workload)):
+        store.put(key, b"value")
+    warmup_len = len(store.trace.events)
+    for key in workload:
+        store.get(key)
+    handle_trace = [e.handle for e in store.trace.events[warmup_len:]]
+    # The adversary's public knowledge: plaintext keys by frequency rank,
+    # mapped through the store's (observable) handle of each key.
+    truth = [
+        store._handle(b"contract-%d" % index)
+        for index in range(len(KEY_FREQUENCIES))
+    ]
+
+    # (b) Path ORAM store, same workload.
+    server = OramServer(height=9)
+    observer = AccessPatternObserver().attach(server)
+    client = PathOramClient(server, key=b"o" * 32, block_size=64,
+                            rng=rng.fork(b"oram"))
+    for key in sorted(set(workload)):
+        client.write(key, b"value")
+    observer.clear()
+    for key in workload:
+        client.read(key)
+    oram_leaves = list(observer.leaves)
+
+    return handle_trace, truth, oram_leaves, server.leaf_count
+
+
+def test_frequency_attack_and_uniformity(benchmark, traces):
+    handle_trace, truth, oram_leaves, leaf_count = traces
+
+    def attack():
+        enc_acc = frequency_attack(handle_trace, truth)
+        oram_handles = [leaf.to_bytes(4, "big") for leaf in oram_leaves]
+        oram_acc = frequency_attack(oram_handles, truth)
+        pvalue = path_uniformity_pvalue(oram_leaves, leaf_count, bins=8)
+        return enc_acc, oram_acc, pvalue
+
+    enc_acc, oram_acc, pvalue = benchmark(attack)
+
+    # Swap-noise experiment (A5).
+    from repro.hardware.memory_layers import Layer2CallStack
+
+    def swap_trace(noise: bool):
+        l2 = Layer2CallStack(
+            capacity_bytes=128 * 1024, rng=Drbg(b"swap"), noise_enabled=noise
+        )
+        sizes = [34, 40, 36, 50, 34, 42, 38, 44, 35, 47] * 3
+        events = []
+        for size_kb in sizes:
+            events += l2.push_frame(size_kb * 1024)
+        for _ in sizes:
+            events += l2.pop_frame()
+        return events
+
+    plain = swap_trace(False)
+    noisy = swap_trace(True)
+    leak_plain = size_leakage(
+        [e.real_pages for e in plain], [e.page_count for e in plain]
+    )
+    leak_noisy = size_leakage(
+        [e.real_pages for e in noisy], [e.page_count for e in noisy]
+    )
+
+    lines = [
+        "| adversary experiment | encrypted store | Path ORAM |",
+        "|---|---|---|",
+        f"| frequency-analysis accuracy | {enc_acc:.0%} | {oram_acc:.0%} |",
+        "",
+        f"ORAM path uniformity (chi-square p): {pvalue:.3f} "
+        "(p > 0.01 = indistinguishable from uniform)",
+        "",
+        "| swap bus (A5) | size leakage (fraction of frame-size entropy) |",
+        "|---|---|",
+        f"| exact counts | {leak_plain:.2f} |",
+        f"| with pre-evict/pre-load noise | {leak_noisy:.2f} |",
+    ]
+    record_result(
+        "security_distinguisher", "§V empirical security experiments", lines
+    )
+
+    assert enc_acc >= 0.75     # the strawman falls to frequency analysis
+    assert oram_acc == 0.0     # the ORAM trace carries no frequency signal
+    assert pvalue > 0.01       # physical paths are uniform
+    assert leak_plain == pytest.approx(1.0)
+    assert leak_noisy < 0.8    # noise destroys most of the signal

@@ -1,0 +1,9 @@
+"""Setup shim for offline environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+the legacy `pip install -e .` path.
+"""
+
+from setuptools import setup
+
+setup()

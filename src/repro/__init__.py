@@ -1,0 +1,23 @@
+"""HarDTAPE reproduction: a hardware-dedicated trusted transaction
+pre-executor, functionally simulated in Python.
+
+Subpackages
+-----------
+``repro.crypto``      Keccak-256, AES-GCM, secp256k1, PUF root of trust
+``repro.rlp``         RLP serialization
+``repro.trie``        Merkle Patricia Trie + proofs
+``repro.state``       accounts, journaled state, blocks
+``repro.evm``         the EVM interpreter, gas model, tracers
+``repro.oram``        Path ORAM + paged oblivious world state
+``repro.hardware``    HEVM cores, 3-layer memory, timing and area models
+``repro.hypervisor``  attestation, secure channel, scheduling, block sync
+``repro.node``        simulated Ethereum full node (traces + proofs)
+``repro.baselines``   Geth and TSC-VEE comparison models
+``repro.workloads``   EVM assembler, contracts, evaluation-set generator
+``repro.security``    adversary observers and statistical attacks
+``repro.core``        the product API: HarDTAPEService / PreExecutionClient
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,55 @@
+"""The Geth baseline: software EVM with all data prefetched in RAM.
+
+Functionally identical to the HEVM (same interpreter core), timed with
+the software per-opcode cost model calibrated to the paper's Geth box
+(i7-12700 @ 4.35 GHz, evaluation-set data pre-loaded into main memory,
+never competing with the ORAM server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm.executor import TransactionResult, execute_transaction
+from repro.evm.interpreter import ChainContext
+from repro.evm.tracer import CountingTracer
+from repro.hardware.timing import CostModel
+from repro.state.backend import StateBackend
+from repro.state.blocks import Transaction
+from repro.state.journal import JournaledState
+
+
+@dataclass
+class BaselineRun:
+    """Result + simulated time of one baseline transaction."""
+
+    result: TransactionResult
+    time_us: float
+    counts: dict[str, int]
+
+
+class GethSimulator:
+    """Per-transaction Geth timing over the shared functional EVM."""
+
+    def __init__(self, backend: StateBackend, cost: CostModel | None = None) -> None:
+        self._backend = backend
+        self._cost = cost or CostModel()
+        self._state = JournaledState(backend)
+
+    def reset_state(self) -> None:
+        self._state = JournaledState(self._backend)
+
+    def execute(
+        self,
+        chain: ChainContext,
+        tx: Transaction,
+        charge_fees: bool = True,
+    ) -> BaselineRun:
+        tracer = CountingTracer()
+        result = execute_transaction(
+            self._state, chain, tx, tracer=tracer, charge_fees=charge_fees
+        )
+        time_us = self._cost.geth_tx_fixed_us
+        for group, count in tracer.counts.by_group.items():
+            time_us += self._cost.geth_instruction_us(group, count)
+        return BaselineRun(result, time_us, dict(tracer.counts.by_group))

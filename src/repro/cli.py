@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli demo                # quickstart scenario
+    python -m repro.cli evalset --blocks 4  # build + describe an evaluation set
+    python -m repro.cli figure4             # the Figure 4 sweep
+    python -m repro.cli trace --tx 0        # opcode-level trace of one tx
+    python -m repro.cli resources           # the §VI-A area table
+
+Everything runs offline and deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import HarDTAPEService, PreExecutionClient, SecurityFeatures
+from repro.workloads import EvaluationSetConfig, build_evaluation_set
+
+
+def _build_evalset(args) -> "object":
+    config = EvaluationSetConfig(
+        blocks=args.blocks,
+        txs_per_block=args.txs_per_block,
+        seed=args.seed,
+    )
+    return build_evaluation_set(config)
+
+
+def cmd_demo(args) -> int:
+    from repro.node import EthereumNode
+    from repro.state import Account, Transaction, to_address
+    from repro.workloads.contracts import erc20
+
+    alice, bob, token = to_address(0xA1), to_address(0xB2), to_address(0x70CE)
+    node = EthereumNode(genesis_accounts={
+        alice: Account(balance=10**20),
+        token: Account(code=erc20.erc20_runtime(),
+                       storage={erc20.balance_slot(alice): 10**6}),
+    })
+    node.add_block([])
+    service = HarDTAPEService(node, SecurityFeatures.from_level(args.level))
+    client = PreExecutionClient(service.manufacturer.root_public_key)
+    session = client.connect(service)
+    print(f"attested device {service.devices[0].serial.decode()} "
+          f"(level -{args.level})")
+    report, elapsed, _ = client.pre_execute(service, session, [
+        Transaction(sender=alice, to=token,
+                    data=erc20.transfer_calldata(bob, 42)),
+    ])
+    trace = report.traces[0]
+    print(f"pre-executed in {elapsed / 1000:.1f} ms (simulated): "
+          f"status={trace.status} gas={trace.gas_used}")
+    return 0
+
+
+def cmd_evalset(args) -> int:
+    evalset = _build_evalset(args)
+    node = evalset.node
+    print(f"evaluation set: seed={args.seed}, {node.height} blocks, "
+          f"{len(evalset.transactions)} pre-executable transactions")
+    print(f"contracts: {len(evalset.population.profiles)} profile, "
+          f"2 ERC-20, 1 DEX, 1 rollup, 1 honeypot")
+    sizes = sorted(evalset.population.profile_sizes.values())
+    print(f"profile code sizes: {sizes[0]}..{sizes[-1]} bytes")
+    gas = [
+        result.gas_used
+        for number in range(2, node.height + 1)
+        for result in node._block(number).results
+    ]
+    print(f"gas per tx: min={min(gas)} median={sorted(gas)[len(gas)//2]} "
+          f"max={max(gas)}")
+    return 0
+
+
+def cmd_figure4(args) -> int:
+    evalset = _build_evalset(args)
+    transactions = evalset.transactions[:args.limit]
+    print(f"{'config':>10} {'mean ms':>9}  (over {len(transactions)} txs)")
+    for level in ("raw", "E", "ES", "ESO", "full"):
+        service = HarDTAPEService(
+            evalset.node, SecurityFeatures.from_level(level), charge_fees=False
+        )
+        client = PreExecutionClient(service.manufacturer.root_public_key)
+        session = client.connect(service)
+        total = 0.0
+        for tx in transactions:
+            _, elapsed, _ = client.pre_execute(service, session, [tx])
+            total += elapsed
+        print(f"{'-' + level:>10} {total / len(transactions) / 1000:>9.1f}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    evalset = _build_evalset(args)
+    service = HarDTAPEService(
+        evalset.node, SecurityFeatures.from_level("full"), charge_fees=False
+    )
+    if not 0 <= args.tx < len(evalset.transactions):
+        print(f"tx index out of range (0..{len(evalset.transactions) - 1})",
+              file=sys.stderr)
+        return 1
+    tx = evalset.transactions[args.tx]
+    device = service.devices[0]
+    results, _, _, struct_traces = device.cores[0].run_bundle(
+        [tx], service.pending_chain_context(),
+        service._synced_state, device.oram_backend,
+        storage_via_oram=True, code_via_oram=True,
+        struct_trace=True, charge_fees=False,
+    )
+    logs = struct_traces[0]
+    print(f"tx {args.tx}: to=0x{tx.to.hex()} status={results[0].status} "
+          f"gas={results[0].gas_used} steps={len(logs)}")
+    for entry in logs[:args.steps]:
+        top = f"0x{entry.stack[-1]:x}" if entry.stack else "-"
+        print(f"  pc={entry.pc:<6} {entry.op:<14} gas={entry.gas:<10} "
+              f"depth={entry.depth} top={top}")
+    if len(logs) > args.steps:
+        print(f"  ... {len(logs) - args.steps} more steps")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.evm.disassembler import format_listing, selector_candidates
+    from repro.workloads.contracts import dex, erc20, honeypot, rollup
+    from repro.workloads.contracts.profile import profile_runtime
+    from repro.state import to_address
+
+    library = {
+        "erc20": erc20.erc20_runtime,
+        "dex": lambda: dex.dex_runtime(to_address(0xA), to_address(0xB)),
+        "rollup": rollup.rollup_runtime,
+        "honeypot": honeypot.honeypot_runtime,
+        "profile": profile_runtime,
+    }
+    if args.contract in library:
+        code = library[args.contract]()
+    else:
+        try:
+            code = bytes.fromhex(args.contract.removeprefix("0x"))
+        except ValueError:
+            print(f"unknown contract {args.contract!r}; choose from "
+                  f"{sorted(library)} or pass hex bytecode", file=sys.stderr)
+            return 1
+    print(f"; {len(code)} bytes")
+    selectors = selector_candidates(code)
+    if selectors:
+        print("; dispatch selectors: "
+              + ", ".join(f"0x{s:08x}" for s in selectors))
+    print(format_listing(code))
+    return 0
+
+
+def cmd_resources(args) -> int:
+    from repro.hardware.resources import (
+        HEVM_COMPONENTS,
+        HypervisorMemoryBudget,
+        hevm_resources,
+        max_hevms,
+    )
+
+    total = hevm_resources()
+    print("per-HEVM FPGA resources (model, calibrated to the paper):")
+    for name, vector in HEVM_COMPONENTS.items():
+        print(f"  {name:18s} {vector.luts:>8,} LUT {vector.ffs:>8,} FF "
+              f"{vector.bram_bytes // 1024:>5} KB")
+    print(f"  {'TOTAL':18s} {total.luts:>8,} LUT {total.ffs:>8,} FF "
+          f"{total.bram_bytes // 1024:>5} KB")
+    count, bottleneck = max_hevms()
+    print(f"\nHEVMs per XCZU15EV: {count} ({bottleneck}-bound)")
+    budget = HypervisorMemoryBudget()
+    print(f"Hypervisor memory: {budget.binary_kb}+{budget.peak_stack_kb} "
+          f"= {budget.total_kb} KB of {budget.ocm_kb} KB OCM")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HarDTAPE reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart pre-execution scenario")
+    demo.add_argument("--level", default="full",
+                      choices=["raw", "E", "ES", "ESO", "full"])
+    demo.set_defaults(func=cmd_demo)
+
+    def add_evalset_args(p):
+        p.add_argument("--blocks", type=int, default=2)
+        p.add_argument("--txs-per-block", type=int, default=6)
+        p.add_argument("--seed", type=int, default=19_145_194)
+
+    evalset = sub.add_parser("evalset", help="build and describe an evaluation set")
+    add_evalset_args(evalset)
+    evalset.set_defaults(func=cmd_evalset)
+
+    figure4 = sub.add_parser("figure4", help="per-tx time across security levels")
+    add_evalset_args(figure4)
+    figure4.add_argument("--limit", type=int, default=6)
+    figure4.set_defaults(func=cmd_figure4)
+
+    trace = sub.add_parser("trace", help="opcode-level trace of one evalset tx")
+    add_evalset_args(trace)
+    trace.add_argument("--tx", type=int, default=0)
+    trace.add_argument("--steps", type=int, default=25)
+    trace.set_defaults(func=cmd_trace)
+
+    resources = sub.add_parser("resources", help="§VI-A area table")
+    resources.set_defaults(func=cmd_resources)
+
+    disasm = sub.add_parser(
+        "disasm", help="disassemble a library contract or hex bytecode"
+    )
+    disasm.add_argument("contract",
+                        help="erc20|dex|rollup|honeypot|profile or hex")
+    disasm.set_defaults(func=cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""A HarDTAPE device: one chip package with its HEVMs and Hypervisor.
+
+Assembles the full trusted stack — Manufacturer-provisioned PUF and
+device identity, CSU secure boot, HEVM cores, Hypervisor firmware — plus
+the device's connection to the SP-side ORAM server.  This is the unit
+the SP buys and racks; :class:`~repro.core.service.HarDTAPEService`
+operates one or more of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import Drbg
+from repro.crypto.puf import Manufacturer
+from repro.hardware.csu import BootImage, ConfigurationSecurityUnit
+from repro.hardware.hevm import HevmCore
+from repro.hardware.resources import max_hevms
+from repro.hardware.timing import CostModel, SimClock
+from repro.hypervisor.hypervisor import Hypervisor, SecurityFeatures
+from repro.oram.adapter import ObliviousStateBackend
+from repro.oram.client import PathOramClient
+from repro.oram.server import OramServer
+from repro.state.backend import StateBackend
+
+# The shipping firmware image; its measurement is pinned by users.
+RELEASE_IMAGE = BootImage(
+    name="hardtape-hypervisor-v1",
+    payload=b"hardtape hypervisor firmware v1.0.0 + hevm bitstream",
+)
+RELEASE_MEASUREMENT = RELEASE_IMAGE.measurement()
+
+
+@dataclass
+class DeviceConfig:
+    """Per-device knobs (defaults match the paper's prototype)."""
+
+    hevm_count: int = 3  # the XCZU15EV LUT budget allows three
+    l2_bytes: int = 1024 * 1024
+    oram_height: int = 12
+    oram_bucket_size: int = 4
+    stash_limit_blocks: int = 1024  # ~1 MB of on-chip stash
+    # §II-C recursion: store the position map in a smaller ORAM instead
+    # of fully on-chip (needed at real world-state scale; off by default
+    # because the flat map is faster at simulation scale).
+    recursive_position_map: bool = False
+    # Oversized-frame handling: "abort" (paper) or "spill" (see
+    # Layer2CallStack); l3_oram prices spills as full ORAM accesses.
+    oversize_policy: str = "abort"
+    l3_oram: bool = False
+
+
+class HarDTAPEDevice:
+    """One chip, booted and ready to serve sessions."""
+
+    def __init__(
+        self,
+        manufacturer: Manufacturer,
+        serial: bytes,
+        features: SecurityFeatures,
+        direct_backend: StateBackend,
+        oram_server: OramServer | None,
+        clock: SimClock | None = None,
+        cost: CostModel | None = None,
+        config: DeviceConfig | None = None,
+        boot_image: BootImage = RELEASE_IMAGE,
+        oram_key: bytes | None = None,
+    ) -> None:
+        self.config = config or DeviceConfig()
+        if self.config.hevm_count > max_hevms()[0]:
+            raise ValueError(
+                f"{self.config.hevm_count} HEVMs exceed the chip's "
+                f"{max_hevms()[0]}-core budget ({max_hevms()[1]}-bound)"
+            )
+        self.serial = serial
+        self.clock = clock or SimClock()
+        self.cost = cost or CostModel()
+        puf, identity = manufacturer.provision(serial)
+        self.csu = ConfigurationSecurityUnit(puf, identity)
+        rng = Drbg(puf.derive_key(b"device-rng"))
+        self.cores = [
+            HevmCore(
+                core_id=index,
+                clock=self.clock,
+                cost=self.cost,
+                rng=rng.fork(b"core" + bytes([index])),
+                l2_bytes=self.config.l2_bytes,
+                swap_noise=features.swap_noise,
+                oversize_policy=self.config.oversize_policy,
+                l3_oram=self.config.l3_oram,
+            )
+            for index in range(self.config.hevm_count)
+        ]
+        self.oram_backend: ObliviousStateBackend | None = None
+        need_oram = features.oram_storage or features.oram_code
+        if oram_server is not None and need_oram:
+            oram_key = oram_key or puf.derive_key(b"oram-key")
+            position_map = None
+            if self.config.recursive_position_map:
+                from repro.oram.recursive import DirectoryPositionMap
+
+                position_map = DirectoryPositionMap(
+                    capacity=oram_server.capacity_blocks(),
+                    key=puf.derive_key(b"posmap-key"),
+                )
+            client = PathOramClient(
+                oram_server,
+                key=oram_key,
+                block_size=1024,
+                stash_limit=self.config.stash_limit_blocks,
+                rng=rng.fork(b"oram"),
+                position_map=position_map,
+            )
+            self.oram_backend = ObliviousStateBackend(
+                client, clock=lambda: self.clock.now_us
+            )
+        self.hypervisor = Hypervisor(
+            csu=self.csu,
+            boot_image=boot_image,
+            cores=self.cores,
+            clock=self.clock,
+            cost=self.cost,
+            direct_backend=direct_backend,
+            oram_backend=self.oram_backend,
+            features=features,
+            oram_key=oram_key,
+        )
+
+    @property
+    def idle_hevms(self) -> int:
+        return self.hypervisor.scheduler.idle_count

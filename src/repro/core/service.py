@@ -1,0 +1,168 @@
+"""The SP-side pre-execution service.
+
+Owns the Node, the ORAM server, and one or more HarDTAPE devices; keeps
+the ORAM synchronized with the chain tip; and routes user sessions to
+devices.  Note the trust split the design is all about: everything here
+runs on SP hardware and is *untrusted* except the chip internals modeled
+by :class:`~repro.core.device.HarDTAPEDevice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.puf import Manufacturer
+from repro.evm.interpreter import ChainContext
+from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
+from repro.hypervisor.bundle_codec import TraceReport
+from repro.hypervisor.hypervisor import SecurityFeatures
+from repro.node.node import EthereumNode
+from repro.oram.server import OramServer
+from repro.core.device import DeviceConfig, HarDTAPEDevice
+from repro.state.blocks import BlockHeader
+from repro.state.world import WorldState
+
+
+@dataclass
+class ServiceStats:
+    bundles_served: int = 0
+    transactions_served: int = 0
+    blocks_synced: int = 0
+    total_service_time_us: float = 0.0
+    per_tx_breakdowns: list[TimeBreakdown] = field(default_factory=list)
+
+
+class HarDTAPEService:
+    """The pre-execution service a user connects to."""
+
+    def __init__(
+        self,
+        node: EthereumNode,
+        features: SecurityFeatures,
+        manufacturer: Manufacturer | None = None,
+        device_count: int = 1,
+        device_config: DeviceConfig | None = None,
+        cost: CostModel | None = None,
+        charge_fees: bool = True,
+    ) -> None:
+        self.node = node
+        self.features = features
+        self.manufacturer = manufacturer or Manufacturer(b"hardtape-manufacturer")
+        self.clock = SimClock()
+        self.cost = cost or CostModel()
+        self.charge_fees = charge_fees
+        device_config = device_config or DeviceConfig()
+
+        need_oram = features.oram_storage or features.oram_code
+        self.oram_server: OramServer | None = (
+            OramServer(
+                height=device_config.oram_height,
+                bucket_size=device_config.oram_bucket_size,
+                query_cpu_us=self.cost.oram_server_cpu_us,
+            )
+            if need_oram
+            else None
+        )
+        # "For ORAM-disabled configurations these data are prefetched to
+        # the untrusted memory" — the direct backend is that prefetch;
+        # for ORAM configurations it doubles as the functional shadow.
+        self._synced_state: WorldState = node.state_at(node.height).copy()
+        self.devices: list[HarDTAPEDevice] = []
+        shared_oram_key: bytes | None = None
+        for index in range(device_count):
+            device = HarDTAPEDevice(
+                manufacturer=self.manufacturer,
+                serial=b"HDTP-%04d" % index,
+                features=features,
+                direct_backend=self._synced_state,
+                oram_server=self.oram_server,
+                clock=self.clock,
+                cost=self.cost,
+                config=device_config,
+                oram_key=shared_oram_key,
+            )
+            if shared_oram_key is None:
+                shared_oram_key = device.hypervisor.oram_key
+            self.devices.append(device)
+        self.synced_height = node.height
+        self.stats = ServiceStats()
+        if need_oram:
+            self._initial_oram_load()
+
+    # ------------------------------------------------------------------
+    # Block synchronization (workflow step 11)
+    # ------------------------------------------------------------------
+
+    def _initial_oram_load(self) -> None:
+        """Bootstrap: bulk-load the synced state into the ORAM.
+
+        Matches the paper's setup where the evaluation-set data is
+        "synchronized to the ORAM server" before measurements start.
+        """
+        device = self.devices[0]
+        assert device.oram_backend is not None
+        device.oram_backend.sync_world(self._synced_state.accounts)
+
+    def sync_new_blocks(self) -> int:
+        """Verify-and-ingest every block past the synced height."""
+        synced = 0
+        device = self.devices[0]
+        while self.synced_height < self.node.height:
+            target = self.synced_height + 1
+            executed = self.node._block(target)
+            updates = self.node.sync_updates_for(target)
+            if device.oram_backend is not None:
+                device.hypervisor.sync_block(
+                    executed.block.header.state_root, updates
+                )
+            # Mirror into the untrusted prefetch/shadow copy.
+            for update in updates:
+                self._synced_state.accounts[update.address] = update.account.copy()
+            self.synced_height = target
+            self.stats.blocks_synced += 1
+            synced += 1
+        return synced
+
+    # ------------------------------------------------------------------
+    # Session + bundle front door
+    # ------------------------------------------------------------------
+
+    def pick_device(self) -> HarDTAPEDevice:
+        """Route to a device with an idle HEVM."""
+        for device in self.devices:
+            if device.idle_hevms > 0:
+                return device
+        raise RuntimeError("no idle HEVM available")
+
+    def pending_chain_context(self) -> ChainContext:
+        """Simulate against a pending header on top of the synced tip."""
+        tip = self.node._block(self.synced_height).block.header
+        pending = BlockHeader(
+            number=tip.number + 1,
+            parent_hash=tip.block_hash(),
+            state_root=tip.state_root,
+            timestamp=tip.timestamp + self.node.block_interval_s,
+            coinbase=tip.coinbase,
+            gas_limit=tip.gas_limit,
+            base_fee=tip.base_fee,
+            chain_id=tip.chain_id,
+        )
+        return self.node.chain_context(pending)
+
+    def submit_bundle(
+        self, device: HarDTAPEDevice, session_id: bytes, sealed_bundle
+    ):
+        """Run one bundle; returns (sealed trace, elapsed µs, breakdowns)."""
+        start = self.clock.now_us
+        sealed_out, breakdowns, run_stats = device.hypervisor.submit_bundle(
+            session_id,
+            sealed_bundle,
+            self.pending_chain_context(),
+            charge_fees=self.charge_fees,
+        )
+        elapsed = self.clock.now_us - start
+        self.stats.bundles_served += 1
+        self.stats.transactions_served += len(breakdowns)
+        self.stats.total_service_time_us += elapsed
+        self.stats.per_tx_breakdowns.extend(breakdowns)
+        return sealed_out, elapsed, breakdowns, run_stats

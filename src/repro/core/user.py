@@ -1,0 +1,123 @@
+"""The user-side pre-execution client.
+
+Performs the full trust-establishment dance before sending anything:
+verify the attestation report against the Manufacturer's public key and
+the pinned firmware measurement, run DHKE, then exchange bundles and
+traces over the secure channel.  A user following this flow cannot be
+served by a fake pre-executor (attack A1) or fed tampered traces (A4).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto.ecc import PrivateKey, PublicKey
+from repro.hardware.timing import TimeBreakdown
+from repro.hypervisor.attestation import derive_session_key, verify_report
+from repro.hypervisor.bundle_codec import (
+    TraceReport,
+    TransactionBundle,
+    decode_trace_report,
+    encode_bundle,
+)
+from repro.hypervisor.channel import SecureChannel
+from repro.core.device import RELEASE_MEASUREMENT, HarDTAPEDevice
+from repro.core.service import HarDTAPEService
+from repro.state.blocks import Transaction
+
+
+@dataclass
+class UserSession:
+    """A live attested session with one device."""
+
+    device: HarDTAPEDevice
+    session_id: bytes
+    channel: SecureChannel
+
+
+class PreExecutionClient:
+    """What an HFT designer runs on their own machine."""
+
+    def __init__(
+        self,
+        manufacturer_public: PublicKey,
+        expected_measurement: bytes = RELEASE_MEASUREMENT,
+        rng_seed: bytes | None = None,
+    ) -> None:
+        self._manufacturer_public = manufacturer_public
+        self._expected_measurement = expected_measurement
+        self._seed = rng_seed or os.urandom(32)
+        self._counter = 0
+
+    def _fresh_key(self) -> PrivateKey:
+        from repro.crypto.kdf import hkdf_sha256
+
+        self._counter += 1
+        return PrivateKey.from_bytes(
+            hkdf_sha256(self._seed, info=b"user-key%d" % self._counter)
+        )
+
+    def connect(self, service: HarDTAPEService) -> UserSession:
+        """Attest a device and establish the secure channel."""
+        device = service.pick_device()
+        nonce = self._fresh_key().secret.to_bytes(32, "big")
+
+        report, hv_session_key, hv_dh_key = device.hypervisor.begin_attestation(nonce)
+        verify_report(
+            report,
+            self._manufacturer_public,
+            nonce,
+            expected_measurement=self._expected_measurement,
+        )
+
+        user_session_key = self._fresh_key()
+        user_dh_key = self._fresh_key()
+        session_id = device.hypervisor.establish_session(
+            report,
+            hv_session_key,
+            hv_dh_key,
+            user_session_key.public_key(),
+            user_dh_key.public_key(),
+        )
+        transcript = (
+            nonce
+            + report.session_public.to_bytes()
+            + user_session_key.public_key().to_bytes()
+        )
+        aes_key = derive_session_key(user_dh_key, report.dh_public, transcript)
+        channel = SecureChannel(
+            aes_key,
+            own_signing_key=user_session_key,
+            peer_verify_key=report.session_public,
+            sign_messages=device.hypervisor.features.signatures,
+        )
+        return UserSession(device=device, session_id=session_id, channel=channel)
+
+    def pre_execute(
+        self,
+        service: HarDTAPEService,
+        session: UserSession,
+        transactions: list[Transaction],
+    ) -> tuple[TraceReport, float, list[TimeBreakdown]]:
+        """Simulate a bundle; returns (trace report, elapsed µs, breakdowns)."""
+        bundle = TransactionBundle(
+            transactions=tuple(transactions),
+            block_number=service.synced_height,
+        )
+        payload = encode_bundle(bundle)
+        if session.device.hypervisor.features.encryption:
+            sealed = session.channel.seal(payload)
+        else:
+            sealed = payload
+        sealed_out, elapsed, breakdowns, _ = service.submit_bundle(
+            session.device, session.session_id, sealed
+        )
+        if session.device.hypervisor.features.encryption:
+            report_bytes = session.channel.open(sealed_out)
+        else:
+            report_bytes = sealed_out
+        report = decode_trace_report(report_bytes)
+        if report.bundle_id != bundle.bundle_id():
+            raise ValueError("trace report is for a different bundle")
+        return report, elapsed, breakdowns

@@ -1,0 +1,38 @@
+"""Cryptographic substrate for the HarDTAPE simulation.
+
+Everything is implemented from scratch in pure Python and validated
+against public test vectors: Keccak-256 (Ethereum's hash), AES-GCM,
+secp256k1 ECDSA/ECDH, HKDF, a deterministic DRBG, and a simulated PUF
+root of trust.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.ecc import (
+    InvalidSignature,
+    Point,
+    PrivateKey,
+    PublicKey,
+    Signature,
+)
+from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.kdf import Drbg, hkdf_sha256
+from repro.crypto.keccak import Keccak256, keccak256
+from repro.crypto.puf import DeviceIdentity, Manufacturer, SimulatedPuf
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "AuthenticationError",
+    "DeviceIdentity",
+    "Drbg",
+    "InvalidSignature",
+    "Keccak256",
+    "keccak256",
+    "Manufacturer",
+    "Point",
+    "PrivateKey",
+    "PublicKey",
+    "Signature",
+    "SimulatedPuf",
+    "hkdf_sha256",
+]

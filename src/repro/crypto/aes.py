@@ -1,0 +1,249 @@
+"""Pure-Python AES-128/192/256 block cipher (FIPS 197).
+
+Encryption uses precomputed T-tables for speed; decryption uses the
+equivalent inverse tables.  This module provides only the raw block
+transform — authenticated modes live in :mod:`repro.crypto.gcm`.
+
+The implementation is for the HarDTAPE *functional* simulation: it is
+byte-for-byte compatible with standard AES (checked against FIPS test
+vectors in the test suite) but makes no constant-time claims, which is
+irrelevant here because adversary timing in the simulation is modeled by
+:mod:`repro.hardware.timing`, not by wall clock.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# S-box generation (from GF(2^8) arithmetic, so no magic tables are pasted).
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    # Multiplicative inverses via exp/log tables over generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inverse(v: int) -> int:
+        if v == 0:
+            return 0
+        return exp[255 - log[v]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transform.
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= b << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# T-tables: each maps a state byte to a 32-bit column contribution.
+_T0 = [0] * 256
+_T1 = [0] * 256
+_T2 = [0] * 256
+_T3 = [0] * 256
+for _i in range(256):
+    _s = _SBOX[_i]
+    _word = (
+        (_gf_mul(_s, 2) << 24) | (_s << 16) | (_s << 8) | _gf_mul(_s, 3)
+    )
+    _T0[_i] = _word
+    _T1[_i] = ((_word >> 8) | (_word << 24)) & 0xFFFFFFFF
+    _T2[_i] = ((_word >> 16) | (_word << 16)) & 0xFFFFFFFF
+    _T3[_i] = ((_word >> 24) | (_word << 8)) & 0xFFFFFFFF
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+class AES:
+    """Raw AES block cipher for 16/24/32-byte keys."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"invalid AES key length: {len(key)}")
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        nk = len(key) // 4
+        words = [
+            int.from_bytes(key[4 * i:4 * i + 4], "big") for i in range(nk)
+        ]
+        total = 4 * (self._rounds + 1)
+        for i in range(nk, total):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        k = 4
+        for _ in range(self._rounds - 1):
+            n0 = (
+                t0[(s0 >> 24) & 0xFF] ^ t1[(s1 >> 16) & 0xFF]
+                ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[k]
+            )
+            n1 = (
+                t0[(s1 >> 24) & 0xFF] ^ t1[(s2 >> 16) & 0xFF]
+                ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[k + 1]
+            )
+            n2 = (
+                t0[(s2 >> 24) & 0xFF] ^ t1[(s3 >> 16) & 0xFF]
+                ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[k + 2]
+            )
+            n3 = (
+                t0[(s3 >> 24) & 0xFF] ^ t1[(s0 >> 16) & 0xFF]
+                ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = n0, n1, n2, n3
+            k += 4
+        sbox = _SBOX
+        out = bytearray(16)
+        for i, (a, b, c, d) in enumerate(
+            ((s0, s1, s2, s3), (s1, s2, s3, s0), (s2, s3, s0, s1), (s3, s0, s1, s2))
+        ):
+            # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+            word = (
+                (sbox[(a >> 24) & 0xFF] << 24)
+                | (sbox[(b >> 16) & 0xFF] << 16)
+                | (sbox[(c >> 8) & 0xFF] << 8)
+                | sbox[d & 0xFF]
+            ) ^ rk[k + i]
+            out[4 * i:4 * i + 4] = word.to_bytes(4, "big")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block (straightforward inverse rounds)."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._round_keys
+        state = [
+            int.from_bytes(block[4 * i:4 * i + 4], "big")
+            ^ rk[4 * self._rounds + i]
+            for i in range(4)
+        ]
+        state_bytes = bytearray(16)
+        for i in range(4):
+            state_bytes[4 * i:4 * i + 4] = state[i].to_bytes(4, "big")
+
+        def inv_shift_rows(b: bytearray) -> bytearray:
+            out = bytearray(16)
+            for col in range(4):
+                for row in range(4):
+                    out[4 * ((col + row) % 4) + row] = b[4 * col + row]
+            return out
+
+        def inv_mix_columns(b: bytearray) -> bytearray:
+            out = bytearray(16)
+            for col in range(4):
+                c = b[4 * col:4 * col + 4]
+                out[4 * col + 0] = (
+                    _gf_mul(c[0], 14) ^ _gf_mul(c[1], 11)
+                    ^ _gf_mul(c[2], 13) ^ _gf_mul(c[3], 9)
+                )
+                out[4 * col + 1] = (
+                    _gf_mul(c[0], 9) ^ _gf_mul(c[1], 14)
+                    ^ _gf_mul(c[2], 11) ^ _gf_mul(c[3], 13)
+                )
+                out[4 * col + 2] = (
+                    _gf_mul(c[0], 13) ^ _gf_mul(c[1], 9)
+                    ^ _gf_mul(c[2], 14) ^ _gf_mul(c[3], 11)
+                )
+                out[4 * col + 3] = (
+                    _gf_mul(c[0], 11) ^ _gf_mul(c[1], 13)
+                    ^ _gf_mul(c[2], 9) ^ _gf_mul(c[3], 14)
+                )
+            return out
+
+        for round_index in range(self._rounds - 1, 0, -1):
+            state_bytes = inv_shift_rows(state_bytes)
+            state_bytes = bytearray(_INV_SBOX[b] for b in state_bytes)
+            for i in range(4):
+                word = int.from_bytes(state_bytes[4 * i:4 * i + 4], "big")
+                word ^= rk[4 * round_index + i]
+                state_bytes[4 * i:4 * i + 4] = word.to_bytes(4, "big")
+            state_bytes = inv_mix_columns(state_bytes)
+        state_bytes = inv_shift_rows(state_bytes)
+        state_bytes = bytearray(_INV_SBOX[b] for b in state_bytes)
+        for i in range(4):
+            word = int.from_bytes(state_bytes[4 * i:4 * i + 4], "big")
+            word ^= rk[i]
+            state_bytes[4 * i:4 * i + 4] = word.to_bytes(4, "big")
+        return bytes(state_bytes)
+
+    def ctr_keystream(self, counter_block: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes in CTR mode.
+
+        ``counter_block`` is the initial 16-byte counter; the final 32-bit
+        word is incremented per block (the GCM convention).
+        """
+        prefix = counter_block[:12]
+        counter = int.from_bytes(counter_block[12:], "big")
+        out = bytearray()
+        blocks = (length + 15) // 16
+        for _ in range(blocks):
+            out.extend(self.encrypt_block(prefix + counter.to_bytes(4, "big")))
+            counter = (counter + 1) & 0xFFFFFFFF
+        return bytes(out[:length])

@@ -1,0 +1,235 @@
+"""secp256k1 elliptic-curve primitives: ECDSA and ECDH.
+
+HarDTAPE uses ECDSA for attestation reports and per-session message
+signatures, and Diffie-Hellman key exchange to derive the AES session key
+(paper §IV-A).  Ethereum itself signs transactions with ECDSA over
+secp256k1, so one curve serves both roles.
+
+Signatures here are deterministic (RFC 6979 style, using HMAC-SHA256) so
+that simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+# secp256k1 domain parameters.
+P = 2**256 - 2**32 - 977
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+class InvalidSignature(Exception):
+    """Raised when an ECDSA signature fails verification."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on secp256k1; ``None`` coordinates encode infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+
+INFINITY = Point(None, None)
+G = Point(GX, GY)
+
+
+def _point_add(p: Point, q: Point) -> Point:
+    if p.is_infinity:
+        return q
+    if q.is_infinity:
+        return p
+    assert p.x is not None and p.y is not None
+    assert q.x is not None and q.y is not None
+    if p.x == q.x:
+        if (p.y + q.y) % P == 0:
+            return INFINITY
+        # Doubling.
+        slope = (3 * p.x * p.x) * pow(2 * p.y, -1, P) % P
+    else:
+        slope = (q.y - p.y) * pow(q.x - p.x, -1, P) % P
+    x = (slope * slope - p.x - q.x) % P
+    y = (slope * (p.x - x) - p.y) % P
+    return Point(x, y)
+
+
+def _scalar_mul(k: int, point: Point) -> Point:
+    """Double-and-add scalar multiplication."""
+    if k % N == 0 or point.is_infinity:
+        return INFINITY
+    k %= N
+    result = INFINITY
+    addend = point
+    while k:
+        if k & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+def point_on_curve(point: Point) -> bool:
+    """Check that ``point`` satisfies y^2 = x^3 + 7 (mod p)."""
+    if point.is_infinity:
+        return True
+    assert point.x is not None and point.y is not None
+    return (point.y * point.y - point.x**3 - 7) % P == 0
+
+
+def encode_point(point: Point) -> bytes:
+    """Serialize a point as uncompressed SEC1 (65 bytes)."""
+    if point.is_infinity:
+        raise ValueError("cannot encode the point at infinity")
+    assert point.x is not None and point.y is not None
+    return b"\x04" + point.x.to_bytes(32, "big") + point.y.to_bytes(32, "big")
+
+
+def decode_point(data: bytes) -> Point:
+    """Parse an uncompressed SEC1 point and validate curve membership."""
+    if len(data) != 65 or data[0] != 0x04:
+        raise ValueError("expected 65-byte uncompressed SEC1 point")
+    point = Point(
+        int.from_bytes(data[1:33], "big"), int.from_bytes(data[33:], "big")
+    )
+    if not point_on_curve(point):
+        raise ValueError("point is not on secp256k1")
+    return point
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A secp256k1 private key with deterministic-ECDSA signing."""
+
+    secret: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.secret < N:
+            raise ValueError("private key out of range")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrivateKey":
+        value = int.from_bytes(data, "big") % (N - 1) + 1
+        return cls(value)
+
+    def public_key(self) -> "PublicKey":
+        return PublicKey(_scalar_mul(self.secret, G))
+
+    def _rfc6979_nonce(self, digest: bytes) -> int:
+        """Deterministic per-message nonce (RFC 6979, HMAC-SHA256)."""
+        key_bytes = self.secret.to_bytes(32, "big")
+        v = b"\x01" * 32
+        k = b"\x00" * 32
+        k = hmac.new(k, v + b"\x00" + key_bytes + digest, hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        k = hmac.new(k, v + b"\x01" + key_bytes + digest, hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        while True:
+            v = hmac.new(k, v, hashlib.sha256).digest()
+            candidate = int.from_bytes(v, "big")
+            if 1 <= candidate < N:
+                return candidate
+            k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+            v = hmac.new(k, v, hashlib.sha256).digest()
+
+    def sign(self, message_hash: bytes) -> "Signature":
+        """Sign a 32-byte message hash; returns a low-s signature."""
+        if len(message_hash) != 32:
+            raise ValueError("message hash must be 32 bytes")
+        z = int.from_bytes(message_hash, "big")
+        while True:
+            k = self._rfc6979_nonce(message_hash)
+            point = _scalar_mul(k, G)
+            assert point.x is not None
+            r = point.x % N
+            if r == 0:
+                message_hash = hashlib.sha256(message_hash).digest()
+                continue
+            s = (z + r * self.secret) * pow(k, -1, N) % N
+            if s == 0:
+                message_hash = hashlib.sha256(message_hash).digest()
+                continue
+            if s > N // 2:
+                s = N - s
+            return Signature(r, s)
+
+    def ecdh(self, peer: "PublicKey") -> bytes:
+        """Raw ECDH shared secret (x-coordinate, 32 bytes)."""
+        shared = _scalar_mul(self.secret, peer.point)
+        if shared.is_infinity:
+            raise ValueError("ECDH produced the point at infinity")
+        assert shared.x is not None
+        return shared.x.to_bytes(32, "big")
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A secp256k1 public key."""
+
+    point: Point
+
+    def __post_init__(self) -> None:
+        if self.point.is_infinity or not point_on_curve(self.point):
+            raise ValueError("invalid public key")
+
+    def to_bytes(self) -> bytes:
+        return encode_point(self.point)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        return cls(decode_point(data))
+
+    def verify(self, message_hash: bytes, signature: "Signature") -> None:
+        """Verify; raises :class:`InvalidSignature` on failure."""
+        if len(message_hash) != 32:
+            raise ValueError("message hash must be 32 bytes")
+        r, s = signature.r, signature.s
+        if not (1 <= r < N and 1 <= s < N):
+            raise InvalidSignature("signature scalars out of range")
+        z = int.from_bytes(message_hash, "big")
+        s_inv = pow(s, -1, N)
+        u1 = z * s_inv % N
+        u2 = r * s_inv % N
+        point = _point_add(_scalar_mul(u1, G), _scalar_mul(u2, self.point))
+        if point.is_infinity:
+            raise InvalidSignature("verification produced infinity")
+        assert point.x is not None
+        if point.x % N != r:
+            raise InvalidSignature("r mismatch")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature as the (r, s) scalar pair."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        if len(data) != 64:
+            raise ValueError("signature must be 64 bytes")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+def recover_address(message_hash: bytes, signature: Signature, public_key: PublicKey) -> bytes:
+    """Return the 20-byte Ethereum address of ``public_key``.
+
+    (Full public-key recovery from (r, s, v) is not needed by the
+    simulation; transactions carry sender addresses explicitly.)
+    """
+    from repro.crypto.keccak import keccak256
+
+    public_key.verify(message_hash, signature)
+    encoded = public_key.to_bytes()[1:]
+    return keccak256(encoded)[12:]

@@ -1,0 +1,126 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+Used by HarDTAPE for three data flows (paper §IV-C):
+
+* the user↔Hypervisor secure channel (session key from DHKE),
+* layer-3 swapped-out call-stack pages,
+* ORAM *block* re-encryption (shared ORAM key).
+
+GHASH uses an 8-bit lookup table built from the hash subkey, which keeps
+1 KB-page encryption fast enough for the functional simulation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+
+
+class AuthenticationError(Exception):
+    """Raised when a GCM tag does not verify (tampered or wrong key)."""
+
+
+def _ghash_table(h: int) -> list[list[int]]:
+    """Precompute 16 tables of 256 entries for byte-at-a-time GHASH."""
+    # GF(2^128) with the GCM polynomial, bits reflected per the spec.
+    def gf_mul(x: int, y: int) -> int:
+        result = 0
+        for i in range(127, -1, -1):
+            if (y >> i) & 1:
+                result ^= x
+            if x & 1:
+                x = (x >> 1) ^ (0xE1 << 120)
+            else:
+                x >>= 1
+        return result
+
+    tables: list[list[int]] = []
+    for byte_index in range(16):
+        table = [0] * 256
+        for byte_value in range(256):
+            block = byte_value << (8 * (15 - byte_index))
+            table[byte_value] = gf_mul(block, h)
+        tables.append(table)
+    return tables
+
+
+class _Ghash:
+    """Incremental GHASH over the subkey ``H``."""
+
+    def __init__(self, tables: list[list[int]]) -> None:
+        self._tables = tables
+        self._acc = 0
+
+    def update(self, data: bytes) -> None:
+        tables = self._tables
+        acc = self._acc
+        for offset in range(0, len(data), 16):
+            chunk = data[offset:offset + 16]
+            if len(chunk) < 16:
+                chunk = chunk + b"\x00" * (16 - len(chunk))
+            acc ^= int.from_bytes(chunk, "big")
+            result = 0
+            for i in range(16):
+                result ^= tables[i][(acc >> (8 * (15 - i))) & 0xFF]
+            acc = result
+        self._acc = acc
+
+    def digest(self) -> int:
+        return self._acc
+
+
+class AesGcm:
+    """AES-GCM with 12-byte nonces and 16-byte tags."""
+
+    nonce_size = 12
+    tag_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+        self._tables = _ghash_table(h)
+
+    def _tag(self, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        ghash = _Ghash(self._tables)
+        ghash.update(aad)
+        ghash.update(ciphertext)
+        lengths = (len(aad) * 8).to_bytes(8, "big") + (
+            len(ciphertext) * 8
+        ).to_bytes(8, "big")
+        ghash.update(lengths)
+        s = ghash.digest().to_bytes(16, "big")
+        ek = self._aes.encrypt_block(j0)
+        return bytes(a ^ b for a, b in zip(s, ek))
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ``ciphertext || tag`` for ``plaintext`` under ``nonce``.
+
+        The caller is responsible for nonce uniqueness per key; HarDTAPE
+        components derive nonces from monotonic message counters.
+        """
+        if len(nonce) != self.nonce_size:
+            raise ValueError("GCM nonce must be 12 bytes")
+        j0 = nonce + b"\x00\x00\x00\x01"
+        counter_block = nonce + b"\x00\x00\x00\x02"
+        keystream = self._aes.ctr_keystream(counter_block, len(plaintext))
+        ciphertext = bytes(a ^ b for a, b in zip(plaintext, keystream))
+        return ciphertext + self._tag(j0, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and return the plaintext.
+
+        Raises :class:`AuthenticationError` when the tag does not match,
+        which HarDTAPE treats as evidence of tampering by the SP (attack
+        A4 / A6 in the threat model).
+        """
+        if len(nonce) != self.nonce_size:
+            raise ValueError("GCM nonce must be 12 bytes")
+        if len(data) < self.tag_size:
+            raise AuthenticationError("message shorter than a GCM tag")
+        ciphertext, tag = data[:-self.tag_size], data[-self.tag_size:]
+        j0 = nonce + b"\x00\x00\x00\x01"
+        expected = self._tag(j0, aad, ciphertext)
+        if expected != tag:
+            raise AuthenticationError("GCM tag mismatch")
+        counter_block = nonce + b"\x00\x00\x00\x02"
+        keystream = self._aes.ctr_keystream(counter_block, len(ciphertext))
+        return bytes(a ^ b for a, b in zip(ciphertext, keystream))

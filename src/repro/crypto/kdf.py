@@ -1,0 +1,71 @@
+"""Key derivation and deterministic randomness.
+
+* :func:`hkdf_sha256` — HKDF (RFC 5869) used to turn DHKE shared secrets
+  into AES session keys.
+* :class:`Drbg` — a deterministic HMAC-based random bit generator.  The
+  paper requires a *secure source of randomness proposed by the
+  Manufacturer* for ORAM leaf remapping and page-swap noise; in the
+  simulation every secure-randomness consumer owns a :class:`Drbg` seeded
+  from the (simulated) PUF so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def hkdf_sha256(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """HKDF-Extract-then-Expand with SHA-256."""
+    if length > 255 * 32:
+        raise ValueError("HKDF output too long")
+    prk = hmac.new(salt or b"\x00" * 32, ikm, hashlib.sha256).digest()
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+class Drbg:
+    """HMAC-SHA256 counter-mode deterministic random bit generator."""
+
+    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+        self._key = hmac.new(seed, b"drbg-init" + personalization, hashlib.sha256).digest()
+        self._counter = 0
+
+    def random_bytes(self, length: int) -> bytes:
+        """Return ``length`` pseudorandom bytes."""
+        out = bytearray()
+        while len(out) < length:
+            block = hmac.new(
+                self._key, self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            out.extend(block)
+            self._counter += 1
+        return bytes(out[:length])
+
+    def randint(self, upper_exclusive: int) -> int:
+        """Uniform integer in ``[0, upper_exclusive)`` via rejection sampling."""
+        if upper_exclusive <= 0:
+            raise ValueError("upper bound must be positive")
+        bits = upper_exclusive.bit_length()
+        num_bytes = (bits + 7) // 8
+        mask = (1 << bits) - 1
+        while True:
+            candidate = int.from_bytes(self.random_bytes(num_bytes), "big") & mask
+            if candidate < upper_exclusive:
+                return candidate
+
+    def randrange(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        if high <= low:
+            raise ValueError("empty range")
+        return low + self.randint(high - low)
+
+    def fork(self, label: bytes) -> "Drbg":
+        """Derive an independent child generator for ``label``."""
+        return Drbg(self._key, personalization=label)

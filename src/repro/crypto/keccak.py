@@ -1,0 +1,142 @@
+"""Keccak-256 as used by Ethereum.
+
+Ethereum uses the original Keccak submission (multi-rate padding byte
+``0x01``), *not* the finalized NIST SHA3-256 (padding byte ``0x06``), so
+:mod:`hashlib`'s ``sha3_256`` cannot be used.  This module implements
+Keccak-f[1600] from the reference specification in pure Python.
+
+The sponge is small enough to be readable and fast enough for the
+simulation workloads in this repository (contract hashing, trie nodes,
+SHA3 opcodes).  Results for frequently re-hashed byte strings are memoised
+by :func:`keccak256` through a bounded cache.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+_MASK64 = (1 << 64) - 1
+
+# Round constants for Keccak-f[1600] (24 rounds).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets, indexed [x][y] per the Keccak reference.
+_ROTATION = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256.
+
+
+def _rol(value: int, shift: int) -> int:
+    """Rotate a 64-bit lane left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def _keccak_f1600(lanes: list[int]) -> None:
+    """Apply the Keccak-f[1600] permutation to 25 lanes in place.
+
+    ``lanes`` is indexed as ``lanes[x + 5 * y]``.
+    """
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        parity = [
+            lanes[x] ^ lanes[x + 5] ^ lanes[x + 10] ^ lanes[x + 15] ^ lanes[x + 20]
+            for x in range(5)
+        ]
+        for x in range(5):
+            d = parity[(x - 1) % 5] ^ _rol(parity[(x + 1) % 5], 1)
+            for y in range(0, 25, 5):
+                lanes[x + y] ^= d
+        # rho + pi
+        moved = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                moved[y + 5 * ((2 * x + 3 * y) % 5)] = _rol(
+                    lanes[x + 5 * y], _ROTATION[x][y]
+                )
+        # chi
+        for y in range(0, 25, 5):
+            row = moved[y:y + 5]
+            for x in range(5):
+                lanes[x + y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+        # iota
+        lanes[0] ^= round_constant
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher with a hashlib-like interface."""
+
+    digest_size = 32
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._lanes = [0] * 25
+        self._buffer = bytearray()
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Keccak256":
+        """Absorb ``data`` into the sponge."""
+        self._buffer.extend(data)
+        while len(self._buffer) >= _RATE_BYTES:
+            self._absorb_block(bytes(self._buffer[:_RATE_BYTES]))
+            del self._buffer[:_RATE_BYTES]
+        return self
+
+    def _absorb_block(self, block: bytes) -> None:
+        for i in range(_RATE_BYTES // 8):
+            self._lanes[i] ^= int.from_bytes(block[8 * i:8 * i + 8], "little")
+        _keccak_f1600(self._lanes)
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest without disturbing the running state."""
+        lanes = list(self._lanes)
+        padded = bytearray(self._buffer)
+        padded.append(0x01)
+        padded.extend(b"\x00" * (_RATE_BYTES - len(padded)))
+        padded[-1] ^= 0x80
+        for i in range(_RATE_BYTES // 8):
+            lanes[i] ^= int.from_bytes(padded[8 * i:8 * i + 8], "little")
+        _keccak_f1600(lanes)
+        out = bytearray()
+        for i in range(4):  # 32 bytes = 4 lanes
+            out.extend(lanes[i].to_bytes(8, "little"))
+        return bytes(out)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+@lru_cache(maxsize=65536)
+def _keccak256_cached(data: bytes) -> bytes:
+    return Keccak256(data).digest()
+
+
+@lru_cache(maxsize=256)
+def _keccak256_cached_large(data: bytes) -> bytes:
+    # Separate small cache for big inputs (contract bytecode gets
+    # re-hashed on every state commit; 256 entries bound the memory).
+    return Keccak256(data).digest()
+
+
+def keccak256(data: bytes) -> bytes:
+    """Return the Keccak-256 digest of ``data`` (Ethereum's hash function)."""
+    if len(data) <= 1024:
+        return _keccak256_cached(bytes(data))
+    return _keccak256_cached_large(bytes(data))

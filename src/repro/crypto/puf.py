@@ -1,0 +1,86 @@
+"""Simulated physically unclonable function (PUF) and Manufacturer keys.
+
+The paper's chain of trust (§IV-A) starts from a PUF assigned by the
+trusted Manufacturer that seeds/decrypts a pair of asymmetric device
+keys.  Real silicon derives the secret from process variation; the
+simulation derives it from a Manufacturer master secret and the device
+serial through a PRF, which preserves the two properties that matter for
+the protocol:
+
+* the secret is device-unique and stable, and
+* only parties holding the Manufacturer's records can predict it.
+
+A forged device (attack A1) holds a serial the Manufacturer never
+endorsed, so its attestation signature chains to an unknown key and the
+user's verification fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.crypto.ecc import PrivateKey, PublicKey, Signature
+from repro.crypto.kdf import Drbg, hkdf_sha256
+
+
+@dataclass(frozen=True)
+class DeviceIdentity:
+    """Everything a chip package carries out of the fab."""
+
+    serial: bytes
+    device_key: PrivateKey
+    endorsement: Signature  # Manufacturer's signature over the device public key.
+
+
+class SimulatedPuf:
+    """Device-unique secret derived from silicon (simulated via PRF)."""
+
+    def __init__(self, manufacturer_secret: bytes, serial: bytes) -> None:
+        self._response = hmac.new(
+            manufacturer_secret, b"puf" + serial, hashlib.sha256
+        ).digest()
+
+    def derive_key(self, label: bytes) -> bytes:
+        """Derive a stable 32-byte key for ``label`` from the PUF response."""
+        return hkdf_sha256(self._response, info=label)
+
+    def secure_rng(self, label: bytes) -> Drbg:
+        """The Manufacturer-proposed secure randomness source (§IV-B)."""
+        return Drbg(self.derive_key(b"rng"), personalization=label)
+
+
+@dataclass
+class Manufacturer:
+    """The trusted device maker: provisions PUFs and endorses device keys."""
+
+    master_secret: bytes
+    _root_key: PrivateKey = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._root_key = PrivateKey.from_bytes(
+            hkdf_sha256(self.master_secret, info=b"manufacturer-root")
+        )
+
+    @property
+    def root_public_key(self) -> PublicKey:
+        """The publicly known Manufacturer verification key."""
+        return self._root_key.public_key()
+
+    def provision(self, serial: bytes) -> tuple[SimulatedPuf, DeviceIdentity]:
+        """Fabricate a chip: seed its PUF and endorse its device key."""
+        puf = SimulatedPuf(self.master_secret, serial)
+        device_key = PrivateKey.from_bytes(puf.derive_key(b"device-key"))
+        message = hashlib.sha256(
+            b"hardtape-device" + serial + device_key.public_key().to_bytes()
+        ).digest()
+        endorsement = self._root_key.sign(message)
+        return puf, DeviceIdentity(serial, device_key, endorsement)
+
+    @staticmethod
+    def endorsement_message(serial: bytes, device_public: PublicKey) -> bytes:
+        """The hash the Manufacturer signs when endorsing a device."""
+        return hashlib.sha256(
+            b"hardtape-device" + serial + device_public.to_bytes()
+        ).digest()

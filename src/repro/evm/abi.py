@@ -1,0 +1,176 @@
+"""Minimal Solidity ABI encoding/decoding.
+
+Covers the types the workload contracts and examples need: ``uintN``,
+``intN``, ``address``, ``bool``, ``bytesN``, dynamic ``bytes`` /
+``string``, and one-dimensional dynamic arrays ``T[]`` of static
+element types.  Function calls are encoded as
+``selector(signature) || encode(args)`` exactly as Solidity does, so
+calldata built here is byte-compatible with mainnet tooling.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keccak import keccak256
+
+WORD = 32
+
+
+class AbiError(Exception):
+    """Malformed type string or value."""
+
+
+def function_selector(signature: str) -> bytes:
+    """First 4 bytes of keccak256 of the canonical signature."""
+    return keccak256(signature.encode())[:4]
+
+
+# ---------------------------------------------------------------------------
+# Type helpers
+# ---------------------------------------------------------------------------
+
+
+def _is_dynamic(type_name: str) -> bool:
+    if type_name.endswith("[]"):
+        return True
+    return type_name in ("bytes", "string")
+
+
+def _check_uint(value: int, bits: int) -> int:
+    if not 0 <= value < 2**bits:
+        raise AbiError(f"value {value} out of range for uint{bits}")
+    return value
+
+
+def _check_int(value: int, bits: int) -> int:
+    bound = 2 ** (bits - 1)
+    if not -bound <= value < bound:
+        raise AbiError(f"value {value} out of range for int{bits}")
+    return value % 2**256
+
+
+def _encode_static(type_name: str, value) -> bytes:
+    if type_name.startswith("uint"):
+        bits = int(type_name[4:] or 256)
+        return _check_uint(int(value), bits).to_bytes(WORD, "big")
+    if type_name.startswith("int"):
+        bits = int(type_name[3:] or 256)
+        return _check_int(int(value), bits).to_bytes(WORD, "big")
+    if type_name == "address":
+        if isinstance(value, int):
+            value = value.to_bytes(20, "big")
+        if len(value) != 20:
+            raise AbiError("address must be 20 bytes")
+        return bytes(value).rjust(WORD, b"\x00")
+    if type_name == "bool":
+        return int(bool(value)).to_bytes(WORD, "big")
+    if type_name.startswith("bytes") and type_name != "bytes":
+        size = int(type_name[5:])
+        if not 1 <= size <= 32:
+            raise AbiError(f"invalid fixed bytes size {size}")
+        if len(value) != size:
+            raise AbiError(f"expected {size} bytes, got {len(value)}")
+        return bytes(value).ljust(WORD, b"\x00")
+    raise AbiError(f"unsupported static type {type_name!r}")
+
+
+def _encode_dynamic(type_name: str, value) -> bytes:
+    if type_name in ("bytes", "string"):
+        raw = value.encode() if isinstance(value, str) else bytes(value)
+        padded_length = (len(raw) + WORD - 1) // WORD * WORD
+        return len(raw).to_bytes(WORD, "big") + raw.ljust(padded_length, b"\x00")
+    if type_name.endswith("[]"):
+        element_type = type_name[:-2]
+        if _is_dynamic(element_type):
+            raise AbiError("nested dynamic arrays are not supported")
+        body = b"".join(_encode_static(element_type, item) for item in value)
+        return len(value).to_bytes(WORD, "big") + body
+    raise AbiError(f"unsupported dynamic type {type_name!r}")
+
+
+def encode(types: list[str], values: list) -> bytes:
+    """ABI-encode ``values`` per ``types`` (head/tail layout)."""
+    if len(types) != len(values):
+        raise AbiError("types/values length mismatch")
+    heads: list[bytes | None] = []
+    tails: list[bytes] = []
+    for type_name, value in zip(types, values):
+        if _is_dynamic(type_name):
+            heads.append(None)  # offset patched below
+            tails.append(_encode_dynamic(type_name, value))
+        else:
+            heads.append(_encode_static(type_name, value))
+            tails.append(b"")
+    head_size = WORD * len(types)
+    out_head = b""
+    out_tail = b""
+    for head, tail in zip(heads, tails):
+        if head is None:
+            out_head += (head_size + len(out_tail)).to_bytes(WORD, "big")
+            out_tail += tail
+        else:
+            out_head += head
+    return out_head + out_tail
+
+
+def encode_call(signature: str, values: list) -> bytes:
+    """``selector || encode(args)`` for ``signature`` like ``"f(uint256)"``."""
+    open_paren = signature.index("(")
+    types_blob = signature[open_paren + 1:-1]
+    types = [t for t in types_blob.split(",") if t]
+    return function_selector(signature) + encode(types, values)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_static(type_name: str, word: bytes):
+    if type_name.startswith("uint"):
+        return int.from_bytes(word, "big")
+    if type_name.startswith("int"):
+        value = int.from_bytes(word, "big")
+        return value - 2**256 if value >> 255 else value
+    if type_name == "address":
+        return word[12:]
+    if type_name == "bool":
+        return bool(int.from_bytes(word, "big"))
+    if type_name.startswith("bytes") and type_name != "bytes":
+        size = int(type_name[5:])
+        return word[:size]
+    raise AbiError(f"unsupported static type {type_name!r}")
+
+
+def decode(types: list[str], data: bytes) -> list:
+    """Inverse of :func:`encode`."""
+    out = []
+    head_size = WORD * len(types)
+    if len(data) < head_size:
+        raise AbiError("data shorter than head")
+    for index, type_name in enumerate(types):
+        word = data[index * WORD:(index + 1) * WORD]
+        if not _is_dynamic(type_name):
+            out.append(_decode_static(type_name, word))
+            continue
+        offset = int.from_bytes(word, "big")
+        if offset + WORD > len(data):
+            raise AbiError("dynamic offset out of bounds")
+        length = int.from_bytes(data[offset:offset + WORD], "big")
+        body = data[offset + WORD:]
+        if type_name == "bytes":
+            if length > len(body):
+                raise AbiError("bytes length out of bounds")
+            out.append(body[:length])
+        elif type_name == "string":
+            if length > len(body):
+                raise AbiError("string length out of bounds")
+            out.append(body[:length].decode())
+        else:
+            element_type = type_name[:-2]
+            if length * WORD > len(body):
+                raise AbiError("array length out of bounds")
+            out.append([
+                _decode_static(element_type, body[i * WORD:(i + 1) * WORD])
+                for i in range(length)
+            ])
+    return out

@@ -1,0 +1,152 @@
+"""Gas schedule and dynamic cost computation (Berlin/London rules).
+
+Implements the costs HarDTAPE's HEVM accumulates in hardware (paper
+§IV-B "Gas maintenance"): static per-opcode costs plus the dynamic parts
+— memory expansion, warm/cold account and slot access (EIP-2929), SSTORE
+net metering (EIP-2200/3529), copy costs, and call/create charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Intrinsic transaction costs.
+TX_BASE = 21_000
+TX_CREATE = 32_000
+TX_DATA_ZERO = 4
+TX_DATA_NONZERO = 16
+
+# Memory / copy.
+MEMORY_WORD = 3
+MEMORY_QUAD_DIVISOR = 512
+COPY_WORD = 3
+
+# Keccak.
+SHA3_WORD = 6
+
+# EIP-2929 access costs.
+WARM_ACCESS = 100
+COLD_ACCOUNT_ACCESS = 2_600
+COLD_SLOAD = 2_100
+
+# SSTORE (EIP-2200 + EIP-3529).
+SSTORE_SET = 20_000
+SSTORE_RESET = 2_900  # 5000 - COLD_SLOAD
+SSTORE_CLEAR_REFUND = 4_800
+SSTORE_SENTRY = 2_300
+
+# Calls.
+CALL_VALUE = 9_000
+CALL_STIPEND = 2_300
+NEW_ACCOUNT = 25_000
+
+# Creates.
+CREATE_DEPOSIT_PER_BYTE = 200
+INITCODE_WORD = 2
+MAX_CODE_SIZE = 24_576
+MAX_INITCODE_SIZE = 2 * MAX_CODE_SIZE
+
+# Logs.
+LOG_TOPIC = 375
+LOG_DATA_BYTE = 8
+
+# EXP dynamic.
+EXP_BYTE = 50
+
+# Selfdestruct.
+SELFDESTRUCT_NEW_ACCOUNT = 25_000
+
+# Refund cap divisor (EIP-3529).
+REFUND_QUOTIENT = 5
+
+
+def memory_cost(word_count: int) -> int:
+    """Total gas for a memory of ``word_count`` 32-byte words."""
+    return MEMORY_WORD * word_count + word_count * word_count // MEMORY_QUAD_DIVISOR
+
+
+def memory_expansion_cost(current_bytes: int, offset: int, length: int) -> int:
+    """Gas to expand memory to cover ``[offset, offset+length)``."""
+    if length == 0:
+        return 0
+    new_words = (offset + length + 31) // 32
+    current_words = current_bytes // 32
+    if new_words <= current_words:
+        return 0
+    return memory_cost(new_words) - memory_cost(current_words)
+
+
+def copy_cost(length: int) -> int:
+    """Per-word copy gas for *COPY instructions."""
+    return COPY_WORD * ((length + 31) // 32)
+
+
+def sha3_cost(length: int) -> int:
+    return SHA3_WORD * ((length + 31) // 32)
+
+
+def exp_cost(exponent: int) -> int:
+    if exponent == 0:
+        return 0
+    return EXP_BYTE * ((exponent.bit_length() + 7) // 8)
+
+
+def intrinsic_gas(data: bytes, is_create: bool) -> int:
+    """The gas charged before the first instruction executes."""
+    gas = TX_BASE
+    if is_create:
+        gas += TX_CREATE
+        gas += INITCODE_WORD * ((len(data) + 31) // 32)
+    zeros = data.count(0)
+    gas += TX_DATA_ZERO * zeros + TX_DATA_NONZERO * (len(data) - zeros)
+    return gas
+
+
+def initcode_cost(length: int) -> int:
+    """EIP-3860 per-word init code charge for CREATE/CREATE2."""
+    return INITCODE_WORD * ((length + 31) // 32)
+
+
+@dataclass(frozen=True)
+class SstoreOutcome:
+    """Gas and refund delta for one SSTORE."""
+
+    gas: int
+    refund_delta: int
+
+
+def sstore_outcome(original: int, current: int, new: int) -> SstoreOutcome:
+    """EIP-2200 net gas metering with EIP-3529 refunds.
+
+    ``original`` is the value at transaction start, ``current`` the value
+    now, ``new`` the value being written.  Cold-slot surcharge is added
+    separately by the interpreter.
+    """
+    if new == current:
+        return SstoreOutcome(WARM_ACCESS, 0)
+    refund = 0
+    if current == original:
+        if original == 0:
+            gas = SSTORE_SET
+        else:
+            gas = SSTORE_RESET
+            if new == 0:
+                refund += SSTORE_CLEAR_REFUND
+    else:
+        gas = WARM_ACCESS
+        if original != 0:
+            if current == 0:
+                refund -= SSTORE_CLEAR_REFUND
+            if new == 0:
+                refund += SSTORE_CLEAR_REFUND
+        if new == original:
+            if original == 0:
+                refund += SSTORE_SET - WARM_ACCESS
+            else:
+                refund += SSTORE_RESET + COLD_SLOAD - WARM_ACCESS
+    return SstoreOutcome(gas, refund)
+
+
+def max_call_gas(remaining: int) -> int:
+    """EIP-150 all-but-one-64th rule."""
+    return remaining - remaining // 64

@@ -1,0 +1,40 @@
+"""Instruction handlers, registered into a single dispatch table.
+
+Each handler has signature ``handler(vm, frame)`` where ``vm`` is the
+:class:`~repro.evm.interpreter.Interpreter`.  The dispatch loop charges
+the opcode's static base gas before invoking the handler; handlers
+charge any dynamic gas themselves.  Handlers that change the program
+counter (jumps, halts) set ``frame.pc`` / ``frame.halted`` directly and
+return ``True`` so the loop skips its normal PC advance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Handler = Callable[..., bool | None]
+
+DISPATCH: dict[int, Handler] = {}
+
+
+def register(opcode: int) -> Callable[[Handler], Handler]:
+    """Decorator registering ``handler`` for ``opcode``."""
+
+    def wrap(handler: Handler) -> Handler:
+        if opcode in DISPATCH:
+            raise ValueError(f"duplicate handler for opcode 0x{opcode:02x}")
+        DISPATCH[opcode] = handler
+        return handler
+
+    return wrap
+
+
+def _load_all() -> None:
+    # Import for side effects: each module registers its handlers.
+    from repro.evm.instructions import arithmetic  # noqa: F401
+    from repro.evm.instructions import environment  # noqa: F401
+    from repro.evm.instructions import memory_storage  # noqa: F401
+    from repro.evm.instructions import calls  # noqa: F401
+
+
+_load_all()

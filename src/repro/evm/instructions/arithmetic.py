@@ -1,0 +1,207 @@
+"""ARITHMETIC, COMPARISON, bitwise, and SHA3 instruction handlers.
+
+All arithmetic is modulo 2**256; signed operations interpret words as
+two's complement, per the yellow paper.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keccak import keccak256
+from repro.evm import gas, opcodes
+from repro.evm.instructions import register
+
+WORD = 1 << 256
+SIGN_BIT = 1 << 255
+MASK = WORD - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 256-bit word as two's-complement."""
+    return value - WORD if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    return value & MASK
+
+
+@register(opcodes.ADD)
+def add(vm, frame):
+    b, a = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(b + a)
+
+
+@register(opcodes.MUL)
+def mul(vm, frame):
+    b, a = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(b * a)
+
+
+@register(opcodes.SUB)
+def sub(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(a - b)
+
+
+@register(opcodes.DIV)
+def div(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(a // b if b else 0)
+
+
+@register(opcodes.SDIV)
+def sdiv(vm, frame):
+    a, b = to_signed(frame.stack.pop()), to_signed(frame.stack.pop())
+    if b == 0:
+        frame.stack.push(0)
+    else:
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        frame.stack.push(to_unsigned(quotient))
+
+
+@register(opcodes.MOD)
+def mod(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(a % b if b else 0)
+
+
+@register(opcodes.SMOD)
+def smod(vm, frame):
+    a, b = to_signed(frame.stack.pop()), to_signed(frame.stack.pop())
+    if b == 0:
+        frame.stack.push(0)
+    else:
+        result = abs(a) % abs(b)
+        if a < 0:
+            result = -result
+        frame.stack.push(to_unsigned(result))
+
+
+@register(opcodes.ADDMOD)
+def addmod(vm, frame):
+    a, b, n = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    frame.stack.push((a + b) % n if n else 0)
+
+
+@register(opcodes.MULMOD)
+def mulmod(vm, frame):
+    a, b, n = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    frame.stack.push((a * b) % n if n else 0)
+
+
+@register(opcodes.EXP)
+def exp(vm, frame):
+    base, exponent = frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(gas.exp_cost(exponent))
+    frame.stack.push(pow(base, exponent, WORD))
+
+
+@register(opcodes.SIGNEXTEND)
+def signextend(vm, frame):
+    byte_index, value = frame.stack.pop(), frame.stack.pop()
+    if byte_index >= 31:
+        frame.stack.push(value)
+        return
+    sign_position = 8 * byte_index + 7
+    if value & (1 << sign_position):
+        frame.stack.push(value | (MASK << sign_position) & MASK)
+    else:
+        frame.stack.push(value & ((1 << (sign_position + 1)) - 1))
+
+
+@register(opcodes.LT)
+def lt(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(1 if a < b else 0)
+
+
+@register(opcodes.GT)
+def gt(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(1 if a > b else 0)
+
+
+@register(opcodes.SLT)
+def slt(vm, frame):
+    a, b = to_signed(frame.stack.pop()), to_signed(frame.stack.pop())
+    frame.stack.push(1 if a < b else 0)
+
+
+@register(opcodes.SGT)
+def sgt(vm, frame):
+    a, b = to_signed(frame.stack.pop()), to_signed(frame.stack.pop())
+    frame.stack.push(1 if a > b else 0)
+
+
+@register(opcodes.EQ)
+def eq(vm, frame):
+    a, b = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(1 if a == b else 0)
+
+
+@register(opcodes.ISZERO)
+def iszero(vm, frame):
+    frame.stack.push(1 if frame.stack.pop() == 0 else 0)
+
+
+@register(opcodes.AND)
+def and_(vm, frame):
+    frame.stack.push(frame.stack.pop() & frame.stack.pop())
+
+
+@register(opcodes.OR)
+def or_(vm, frame):
+    frame.stack.push(frame.stack.pop() | frame.stack.pop())
+
+
+@register(opcodes.XOR)
+def xor(vm, frame):
+    frame.stack.push(frame.stack.pop() ^ frame.stack.pop())
+
+
+@register(opcodes.NOT)
+def not_(vm, frame):
+    frame.stack.push(~frame.stack.pop())
+
+
+@register(opcodes.BYTE)
+def byte_(vm, frame):
+    index, value = frame.stack.pop(), frame.stack.pop()
+    if index >= 32:
+        frame.stack.push(0)
+    else:
+        frame.stack.push((value >> (8 * (31 - index))) & 0xFF)
+
+
+@register(opcodes.SHL)
+def shl(vm, frame):
+    shift, value = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(0 if shift >= 256 else value << shift)
+
+
+@register(opcodes.SHR)
+def shr(vm, frame):
+    shift, value = frame.stack.pop(), frame.stack.pop()
+    frame.stack.push(0 if shift >= 256 else value >> shift)
+
+
+@register(opcodes.SAR)
+def sar(vm, frame):
+    shift, value = frame.stack.pop(), to_signed(frame.stack.pop())
+    if shift >= 256:
+        frame.stack.push(MASK if value < 0 else 0)
+    else:
+        frame.stack.push(to_unsigned(value >> shift))
+
+
+@register(opcodes.SHA3)
+def sha3(vm, frame):
+    offset, length = frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(
+        gas.sha3_cost(length)
+        + gas.memory_expansion_cost(frame.memory.size, offset, length)
+    )
+    frame.memory.expand_to(offset, length)
+    digest = keccak256(frame.memory.read(offset, length))
+    frame.stack.push(int.from_bytes(digest, "big"))

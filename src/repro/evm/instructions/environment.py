@@ -1,0 +1,191 @@
+"""Frame-state, block, calldata/code/returndata, and account queries.
+
+The 0x30–0x4A range is what the paper maps to the HEVM's 32-slot frame
+state partition; account queries (BALANCE, EXTCODE*) are world-state
+K-V reads that become ORAM queries in the HarDTAPE configuration.
+"""
+
+from __future__ import annotations
+
+from repro.evm import gas, opcodes
+from repro.evm.exceptions import ReturnDataOutOfBounds
+from repro.evm.instructions import register
+from repro.evm.memory import read_padded
+from repro.state.account import to_address
+
+
+def _address_access_gas(vm, frame, address) -> None:
+    """Charge EIP-2929 warm/cold gas for touching ``address``."""
+    warm = vm.state.warm_address(address)
+    vm.tracer.on_account_access(address, not warm)
+    frame.use_gas(gas.WARM_ACCESS if warm else gas.COLD_ACCOUNT_ACCESS)
+
+
+@register(opcodes.ADDRESS)
+def address_(vm, frame):
+    frame.stack.push(int.from_bytes(frame.address, "big"))
+
+
+@register(opcodes.BALANCE)
+def balance(vm, frame):
+    target = to_address(frame.stack.pop())
+    _address_access_gas(vm, frame, target)
+    frame.stack.push(vm.state.get_balance(target))
+
+
+@register(opcodes.ORIGIN)
+def origin(vm, frame):
+    frame.stack.push(int.from_bytes(vm.origin, "big"))
+
+
+@register(opcodes.CALLER)
+def caller(vm, frame):
+    frame.stack.push(int.from_bytes(frame.message.caller, "big"))
+
+
+@register(opcodes.CALLVALUE)
+def callvalue(vm, frame):
+    frame.stack.push(frame.message.value)
+
+
+@register(opcodes.CALLDATALOAD)
+def calldataload(vm, frame):
+    offset = frame.stack.pop()
+    if offset > len(frame.message.data) + 32:
+        frame.stack.push(0)
+        return
+    word = read_padded(frame.message.data, offset, 32)
+    frame.stack.push(int.from_bytes(word, "big"))
+
+
+@register(opcodes.CALLDATASIZE)
+def calldatasize(vm, frame):
+    frame.stack.push(len(frame.message.data))
+
+
+@register(opcodes.CALLDATACOPY)
+def calldatacopy(vm, frame):
+    dest, offset, length = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(
+        gas.copy_cost(length)
+        + gas.memory_expansion_cost(frame.memory.size, dest, length)
+    )
+    frame.memory.expand_to(dest, length)
+    frame.memory.write(dest, read_padded(frame.message.data, offset, length))
+
+
+@register(opcodes.CODESIZE)
+def codesize(vm, frame):
+    frame.stack.push(len(frame.code))
+
+
+@register(opcodes.CODECOPY)
+def codecopy(vm, frame):
+    dest, offset, length = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(
+        gas.copy_cost(length)
+        + gas.memory_expansion_cost(frame.memory.size, dest, length)
+    )
+    frame.memory.expand_to(dest, length)
+    frame.memory.write(dest, read_padded(frame.code, offset, length))
+
+
+@register(opcodes.GASPRICE)
+def gasprice(vm, frame):
+    frame.stack.push(vm.gas_price)
+
+
+@register(opcodes.EXTCODESIZE)
+def extcodesize(vm, frame):
+    target = to_address(frame.stack.pop())
+    _address_access_gas(vm, frame, target)
+    frame.stack.push(vm.state.get_code_size(target))
+
+
+@register(opcodes.EXTCODECOPY)
+def extcodecopy(vm, frame):
+    target = to_address(frame.stack.pop())
+    dest, offset, length = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    _address_access_gas(vm, frame, target)
+    frame.use_gas(
+        gas.copy_cost(length)
+        + gas.memory_expansion_cost(frame.memory.size, dest, length)
+    )
+    frame.memory.expand_to(dest, length)
+    code = vm.state.get_code(target)
+    vm.tracer.on_code_fetch(target, len(code))
+    frame.memory.write(dest, read_padded(code, offset, length))
+
+
+@register(opcodes.RETURNDATASIZE)
+def returndatasize(vm, frame):
+    frame.stack.push(len(frame.return_data))
+
+
+@register(opcodes.RETURNDATACOPY)
+def returndatacopy(vm, frame):
+    dest, offset, length = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+    if offset + length > len(frame.return_data):
+        raise ReturnDataOutOfBounds(
+            f"returndata is {len(frame.return_data)} bytes, "
+            f"copy wants [{offset}, {offset + length})"
+        )
+    frame.use_gas(
+        gas.copy_cost(length)
+        + gas.memory_expansion_cost(frame.memory.size, dest, length)
+    )
+    frame.memory.expand_to(dest, length)
+    frame.memory.write(dest, frame.return_data[offset:offset + length])
+
+
+@register(opcodes.EXTCODEHASH)
+def extcodehash(vm, frame):
+    target = to_address(frame.stack.pop())
+    _address_access_gas(vm, frame, target)
+    frame.stack.push(int.from_bytes(vm.state.get_code_hash(target), "big"))
+
+
+@register(opcodes.BLOCKHASH)
+def blockhash(vm, frame):
+    number = frame.stack.pop()
+    frame.stack.push(int.from_bytes(vm.chain.block_hash(number), "big"))
+
+
+@register(opcodes.COINBASE)
+def coinbase(vm, frame):
+    frame.stack.push(int.from_bytes(vm.chain.header.coinbase, "big"))
+
+
+@register(opcodes.TIMESTAMP)
+def timestamp(vm, frame):
+    frame.stack.push(vm.chain.header.timestamp)
+
+
+@register(opcodes.NUMBER)
+def number(vm, frame):
+    frame.stack.push(vm.chain.header.number)
+
+
+@register(opcodes.PREVRANDAO)
+def prevrandao(vm, frame):
+    frame.stack.push(vm.chain.header.prev_randao)
+
+
+@register(opcodes.GASLIMIT)
+def gaslimit(vm, frame):
+    frame.stack.push(vm.chain.header.gas_limit)
+
+
+@register(opcodes.CHAINID)
+def chainid(vm, frame):
+    frame.stack.push(vm.chain.header.chain_id)
+
+
+@register(opcodes.SELFBALANCE)
+def selfbalance(vm, frame):
+    frame.stack.push(vm.state.get_balance(frame.address))
+
+
+@register(opcodes.BASEFEE)
+def basefee(vm, frame):
+    frame.stack.push(vm.chain.header.base_fee)

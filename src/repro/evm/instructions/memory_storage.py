@@ -1,0 +1,171 @@
+"""STACK, MEMORY, STORAGE, JUMP, and LOG instruction handlers."""
+
+from __future__ import annotations
+
+from repro.evm import gas, opcodes
+from repro.evm.exceptions import InvalidJump, OutOfGas, WriteProtection
+from repro.evm.instructions import register
+
+
+@register(opcodes.POP)
+def pop(vm, frame):
+    frame.stack.pop()
+
+
+@register(opcodes.MLOAD)
+def mload(vm, frame):
+    offset = frame.stack.pop()
+    frame.use_gas(gas.memory_expansion_cost(frame.memory.size, offset, 32))
+    frame.memory.expand_to(offset, 32)
+    frame.stack.push(int.from_bytes(frame.memory.read(offset, 32), "big"))
+
+
+@register(opcodes.MSTORE)
+def mstore(vm, frame):
+    offset, value = frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(gas.memory_expansion_cost(frame.memory.size, offset, 32))
+    frame.memory.expand_to(offset, 32)
+    frame.memory.write(offset, value.to_bytes(32, "big"))
+
+
+@register(opcodes.MSTORE8)
+def mstore8(vm, frame):
+    offset, value = frame.stack.pop(), frame.stack.pop()
+    frame.use_gas(gas.memory_expansion_cost(frame.memory.size, offset, 1))
+    frame.memory.expand_to(offset, 1)
+    frame.memory.write_byte(offset, value)
+
+
+@register(opcodes.SLOAD)
+def sload(vm, frame):
+    key = frame.stack.pop()
+    warm = vm.state.warm_slot(frame.address, key)
+    frame.use_gas(gas.WARM_ACCESS if warm else gas.COLD_SLOAD)
+    value = vm.state.get_storage(frame.address, key)
+    frame.storage_keys_touched.add(key)
+    vm.tracer.on_storage_read(frame.address, key, value, not warm)
+    frame.stack.push(value)
+
+
+@register(opcodes.SSTORE)
+def sstore(vm, frame):
+    if frame.message.is_static:
+        raise WriteProtection("SSTORE inside STATICCALL")
+    key, value = frame.stack.pop(), frame.stack.pop()
+    if frame.gas <= gas.SSTORE_SENTRY:
+        raise OutOfGas("SSTORE sentry: not enough gas remaining")
+    warm = vm.state.warm_slot(frame.address, key)
+    if not warm:
+        frame.use_gas(gas.COLD_SLOAD)
+    original = vm.state.get_original_storage(frame.address, key)
+    current = vm.state.get_storage(frame.address, key)
+    outcome = gas.sstore_outcome(original, current, value)
+    frame.use_gas(outcome.gas)
+    if outcome.refund_delta > 0:
+        vm.state.add_refund(outcome.refund_delta)
+    elif outcome.refund_delta < 0:
+        vm.state.sub_refund(-outcome.refund_delta)
+    vm.state.set_storage(frame.address, key, value)
+    frame.storage_keys_touched.add(key)
+    vm.tracer.on_storage_write(frame.address, key, value, not warm)
+
+
+@register(opcodes.JUMP)
+def jump(vm, frame):
+    dest = frame.stack.pop()
+    if dest not in frame.valid_jumpdests:
+        raise InvalidJump(f"jump to {dest}")
+    frame.pc = dest
+    return True
+
+
+@register(opcodes.JUMPI)
+def jumpi(vm, frame):
+    dest, condition = frame.stack.pop(), frame.stack.pop()
+    if condition:
+        if dest not in frame.valid_jumpdests:
+            raise InvalidJump(f"jumpi to {dest}")
+        frame.pc = dest
+        return True
+    return None
+
+
+@register(opcodes.PC)
+def pc_(vm, frame):
+    frame.stack.push(frame.pc)
+
+
+@register(opcodes.MSIZE)
+def msize(vm, frame):
+    frame.stack.push(frame.memory.size)
+
+
+@register(opcodes.GAS)
+def gas_(vm, frame):
+    frame.stack.push(frame.gas)
+
+
+@register(opcodes.JUMPDEST)
+def jumpdest(vm, frame):
+    pass
+
+
+@register(opcodes.PUSH0)
+def push0(vm, frame):
+    frame.stack.push(0)
+
+
+def _make_push(size: int):
+    def push_n(vm, frame):
+        start = frame.pc + 1
+        immediate = frame.code[start:start + size]
+        frame.stack.push(int.from_bytes(immediate.ljust(size, b"\x00"), "big"))
+
+    return push_n
+
+
+for _size in range(1, 33):
+    register(0x5F + _size)(_make_push(_size))
+
+
+def _make_dup(n: int):
+    def dup_n(vm, frame):
+        frame.stack.dup(n)
+
+    return dup_n
+
+
+def _make_swap(n: int):
+    def swap_n(vm, frame):
+        frame.stack.swap(n)
+
+    return swap_n
+
+
+for _n in range(1, 17):
+    register(0x7F + _n)(_make_dup(_n))
+    register(0x8F + _n)(_make_swap(_n))
+
+
+def _make_log(topic_count: int):
+    def log_n(vm, frame):
+        if frame.message.is_static:
+            raise WriteProtection("LOG inside STATICCALL")
+        offset, length = frame.stack.pop(), frame.stack.pop()
+        topics = [frame.stack.pop() for _ in range(topic_count)]
+        frame.use_gas(
+            gas.LOG_TOPIC * topic_count
+            + gas.LOG_DATA_BYTE * length
+            + gas.memory_expansion_cost(frame.memory.size, offset, length)
+        )
+        frame.memory.expand_to(offset, length)
+        data = frame.memory.read(offset, length)
+        frame.logs.append((frame.address, topics, data))
+        vm.logs.append((frame.address, topics, data))
+        vm.tracer.on_log(frame.address, topics, data)
+
+    return log_n
+
+
+for _topics in range(5):
+    register(0xA0 + _topics)(_make_log(_topics))

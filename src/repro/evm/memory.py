@@ -1,0 +1,68 @@
+"""EVM memory-likes: byte-addressed, unaligned, lazily expanding arrays.
+
+The paper groups Code, Input, Memory, and ReturnData as *memory-likes*
+(§II-A).  Only ``Memory`` is writable and charges quadratic expansion
+gas; the others are read-only views.  The HEVM's layer-1 cache holds a
+partition per memory-like, and the layer-2 frame grows in 1 KB pages as
+``Memory`` expands — :attr:`Memory.size` drives that model.
+"""
+
+from __future__ import annotations
+
+
+class Memory:
+    """The writable, word-expanded runtime memory of one frame."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    @property
+    def size(self) -> int:
+        """Current size in bytes (always a multiple of 32)."""
+        return len(self._data)
+
+    def expand_to(self, offset: int, length: int) -> int:
+        """Grow to cover ``[offset, offset+length)``; returns new word count.
+
+        Expansion is in 32-byte words, per the EVM spec.  Gas for the
+        growth is charged by the interpreter *before* calling this.
+        """
+        if length == 0:
+            return len(self._data) // 32
+        needed = offset + length
+        if needed > len(self._data):
+            new_words = (needed + 31) // 32
+            self._data.extend(b"\x00" * (new_words * 32 - len(self._data)))
+        return len(self._data) // 32
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes (memory must already cover the range)."""
+        if length == 0:
+            return b""
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` (memory must already cover the range)."""
+        if data:
+            self._data[offset:offset + len(data)] = data
+
+    def write_byte(self, offset: int, value: int) -> None:
+        self._data[offset] = value & 0xFF
+
+    def snapshot(self) -> bytes:
+        return bytes(self._data)
+
+
+def read_padded(source: bytes, offset: int, length: int) -> bytes:
+    """Read from a read-only memory-like with zero padding past the end.
+
+    Used for Code, Input (calldata), and EXTCODECOPY semantics.
+    """
+    if length == 0:
+        return b""
+    if offset >= len(source):
+        return b"\x00" * length
+    chunk = source[offset:offset + length]
+    return chunk + b"\x00" * (length - len(chunk))

@@ -1,0 +1,79 @@
+"""Hardware model: HEVM cores, 3-layer memory, timing, area, secure boot."""
+
+from repro.hardware.fleet import (
+    FleetResult,
+    FleetSimulator,
+    TxProfile,
+    profiles_from_breakdowns,
+    saturation_point,
+)
+from repro.hardware.csu import (
+    BootImage,
+    BootReceipt,
+    ConfigurationSecurityUnit,
+    SecureBootError,
+    verify_boot_receipt,
+)
+from repro.hardware.hevm import (
+    FRAME_BASE_BYTES,
+    HardwareBackend,
+    HardwareTracer,
+    HevmCore,
+    HevmRunStats,
+)
+from repro.hardware.memory_layers import (
+    CodeCache,
+    L1_PARTITIONS,
+    Layer2CallStack,
+    MemoryOverflowError,
+    PAGE_BYTES,
+    SwapEvent,
+    WorldStateCache,
+)
+from repro.hardware.resources import (
+    HEVM_COMPONENTS,
+    HypervisorMemoryBudget,
+    ResourceVector,
+    SHARED_COMPONENTS,
+    XCZU15EV,
+    hevm_resources,
+    max_hevms,
+    shared_resources,
+)
+from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
+
+__all__ = [
+    "BootImage",
+    "BootReceipt",
+    "CodeCache",
+    "ConfigurationSecurityUnit",
+    "CostModel",
+    "FleetResult",
+    "FleetSimulator",
+    "FRAME_BASE_BYTES",
+    "HEVM_COMPONENTS",
+    "HardwareBackend",
+    "HardwareTracer",
+    "HevmCore",
+    "HevmRunStats",
+    "HypervisorMemoryBudget",
+    "L1_PARTITIONS",
+    "Layer2CallStack",
+    "MemoryOverflowError",
+    "PAGE_BYTES",
+    "ResourceVector",
+    "SHARED_COMPONENTS",
+    "SecureBootError",
+    "SimClock",
+    "SwapEvent",
+    "TimeBreakdown",
+    "TxProfile",
+    "WorldStateCache",
+    "XCZU15EV",
+    "hevm_resources",
+    "max_hevms",
+    "shared_resources",
+    "profiles_from_breakdowns",
+    "saturation_point",
+    "verify_boot_receipt",
+]

@@ -1,0 +1,183 @@
+"""Wire formats for bundles and trace reports.
+
+Bundles travel user → Hypervisor and traces travel back, both inside
+the secure channel.  The encoding is RLP, so sizes are deterministic
+and the A.E.DMA cost model can charge real byte counts.
+
+The trace report carries what the paper's tracer sends after a bundle
+finishes (workflow step 9): per transaction — ReturnData, gas cost,
+status, balance transfers, storage modifications, logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import rlp
+from repro.crypto.keccak import keccak256
+from repro.evm.executor import TransactionResult
+from repro.state.account import Address
+from repro.state.blocks import Transaction
+
+
+@dataclass(frozen=True)
+class TransactionBundle:
+    """An ordered list of transactions simulated as one unit."""
+
+    transactions: tuple[Transaction, ...]
+    block_number: int  # the world-state version to simulate against
+
+    def bundle_id(self) -> bytes:
+        return keccak256(encode_bundle(self))[:16]
+
+
+@dataclass
+class TransactionTrace:
+    """The per-transaction section of a trace report."""
+
+    status: int
+    gas_used: int
+    return_data: bytes
+    error: str | None = None
+    balance_changes: dict[Address, int] = field(default_factory=dict)
+    storage_changes: dict[tuple[Address, int], int] = field(default_factory=dict)
+    logs: list[tuple[Address, list[int], bytes]] = field(default_factory=list)
+
+
+@dataclass
+class TraceReport:
+    """What the user receives for one bundle."""
+
+    bundle_id: bytes
+    traces: list[TransactionTrace]
+    aborted: bool = False
+    abort_reason: str | None = None
+
+
+def trace_from_result(result: TransactionResult) -> TransactionTrace:
+    write_set = result.write_set
+    return TransactionTrace(
+        status=result.status,
+        gas_used=result.gas_used,
+        return_data=result.return_data,
+        error=result.error,
+        balance_changes=dict(write_set.balances) if write_set else {},
+        storage_changes=dict(write_set.storage) if write_set else {},
+        logs=[(log.address, list(log.topics), log.data) for log in result.logs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# RLP encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_bundle(bundle: TransactionBundle) -> bytes:
+    items = [
+        rlp.encode_uint(bundle.block_number),
+        [
+            [
+                tx.sender,
+                tx.to if tx.to is not None else b"",
+                rlp.encode_uint(tx.value),
+                tx.data,
+                rlp.encode_uint(tx.gas_limit),
+                rlp.encode_uint(tx.gas_price),
+                rlp.encode_uint(tx.nonce if tx.nonce is not None else 0),
+                b"\x01" if tx.nonce is not None else b"",
+            ]
+            for tx in bundle.transactions
+        ],
+    ]
+    return rlp.encode(items)
+
+
+def decode_bundle(data: bytes) -> TransactionBundle:
+    block_number_raw, tx_items = rlp.decode(data)  # type: ignore[misc]
+    transactions = []
+    for item in tx_items:  # type: ignore[union-attr]
+        sender, to, value, tx_data, gas_limit, gas_price, nonce, has_nonce = item
+        transactions.append(
+            Transaction(
+                sender=bytes(sender),
+                to=bytes(to) if to != b"" else None,
+                value=rlp.decode_uint(bytes(value)),
+                data=bytes(tx_data),
+                gas_limit=rlp.decode_uint(bytes(gas_limit)),
+                gas_price=rlp.decode_uint(bytes(gas_price)),
+                nonce=rlp.decode_uint(bytes(nonce)) if has_nonce == b"\x01" else None,
+            )
+        )
+    return TransactionBundle(
+        transactions=tuple(transactions),
+        block_number=rlp.decode_uint(bytes(block_number_raw)),
+    )
+
+
+def encode_trace_report(report: TraceReport) -> bytes:
+    items = [
+        report.bundle_id,
+        b"\x01" if report.aborted else b"",
+        (report.abort_reason or "").encode(),
+        [
+            [
+                rlp.encode_uint(trace.status),
+                rlp.encode_uint(trace.gas_used),
+                trace.return_data,
+                (trace.error or "").encode(),
+                [
+                    [address, rlp.encode_uint(balance)]
+                    for address, balance in sorted(trace.balance_changes.items())
+                ],
+                [
+                    [address, rlp.encode_uint(key), rlp.encode_uint(value)]
+                    for (address, key), value in sorted(trace.storage_changes.items())
+                ],
+                [
+                    [address, [rlp.encode_uint(t) for t in topics], data]
+                    for address, topics, data in trace.logs
+                ],
+            ]
+            for trace in report.traces
+        ],
+    ]
+    return rlp.encode(items)
+
+
+def decode_trace_report(data: bytes) -> TraceReport:
+    bundle_id, aborted, abort_reason, trace_items = rlp.decode(data)  # type: ignore[misc]
+    traces = []
+    for item in trace_items:  # type: ignore[union-attr]
+        status, gas_used, return_data, error, balances, storages, logs = item
+        traces.append(
+            TransactionTrace(
+                status=rlp.decode_uint(bytes(status)),
+                gas_used=rlp.decode_uint(bytes(gas_used)),
+                return_data=bytes(return_data),
+                error=bytes(error).decode() or None,
+                balance_changes={
+                    bytes(address): rlp.decode_uint(bytes(balance))
+                    for address, balance in balances
+                },
+                storage_changes={
+                    (bytes(address), rlp.decode_uint(bytes(key))): rlp.decode_uint(
+                        bytes(value)
+                    )
+                    for address, key, value in storages
+                },
+                logs=[
+                    (
+                        bytes(address),
+                        [rlp.decode_uint(bytes(t)) for t in topics],
+                        bytes(log_data),
+                    )
+                    for address, topics, log_data in logs
+                ],
+            )
+        )
+    return TraceReport(
+        bundle_id=bytes(bundle_id),
+        traces=traces,
+        aborted=aborted == b"\x01",
+        abort_reason=bytes(abort_reason).decode() or None,
+    )

@@ -1,0 +1,96 @@
+"""The user↔Hypervisor secure channel.
+
+After attestation, both sides hold a shared AES session key and each
+other's session ECDSA public keys.  Channel messages are AES-GCM
+encrypted and, when the signature feature is enabled (configurations
+-ES and above), ECDSA-signed: one signature per bundle/trace, which is
+why the paper's +80 ms signature overhead amortizes over bundle size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ecc import InvalidSignature, PrivateKey, PublicKey, Signature
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.keccak import keccak256
+from repro.crypto.suite import AeadCipher, AesGcmAead
+
+
+class ChannelError(Exception):
+    """Decryption or signature verification failed on a channel message."""
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """An encrypted (and optionally signed) channel payload."""
+
+    nonce: bytes
+    ciphertext: bytes  # includes the GCM tag
+    signature: Signature | None = None
+
+    @property
+    def wire_size(self) -> int:
+        size = len(self.nonce) + len(self.ciphertext)
+        if self.signature is not None:
+            size += 64
+        return size
+
+
+class SecureChannel:
+    """One endpoint of the bidirectional channel."""
+
+    def __init__(
+        self,
+        session_key: bytes,
+        own_signing_key: PrivateKey | None = None,
+        peer_verify_key: PublicKey | None = None,
+        sign_messages: bool = True,
+        cipher_factory=AesGcmAead,
+    ) -> None:
+        self._cipher: AeadCipher = cipher_factory(session_key)
+        self._own_signing_key = own_signing_key
+        self._peer_verify_key = peer_verify_key
+        self.sign_messages = sign_messages and own_signing_key is not None
+        self._send_counter = 0
+        # Replay protection: counter-based nonces must arrive strictly
+        # increasing.  AES-GCM authenticates contents but not freshness;
+        # without this check the SP could re-submit an old bundle.
+        self._highest_received = 0
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> SealedMessage:
+        """Encrypt (and sign) an outgoing message."""
+        self._send_counter += 1
+        nonce = self._send_counter.to_bytes(12, "big")
+        ciphertext = self._cipher.encrypt(nonce, plaintext, aad)
+        signature = None
+        if self.sign_messages:
+            assert self._own_signing_key is not None
+            signature = self._own_signing_key.sign(keccak256(nonce + ciphertext))
+        return SealedMessage(nonce, ciphertext, signature)
+
+    def open(self, message: SealedMessage, aad: bytes = b"") -> bytes:
+        """Verify and decrypt an incoming message."""
+        if self.sign_messages:
+            if message.signature is None:
+                raise ChannelError("missing required signature")
+            if self._peer_verify_key is None:
+                raise ChannelError("no peer verification key pinned")
+            try:
+                self._peer_verify_key.verify(
+                    keccak256(message.nonce + message.ciphertext), message.signature
+                )
+            except InvalidSignature as exc:
+                raise ChannelError("bad message signature") from exc
+        counter = int.from_bytes(message.nonce, "big")
+        if counter <= self._highest_received:
+            raise ChannelError(
+                f"replayed or reordered message (nonce {counter}, "
+                f"highest seen {self._highest_received})"
+            )
+        try:
+            plaintext = self._cipher.decrypt(message.nonce, message.ciphertext, aad)
+        except AuthenticationError as exc:
+            raise ChannelError("message tampered or wrong key") from exc
+        self._highest_received = counter
+        return plaintext

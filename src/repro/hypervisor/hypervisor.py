@@ -1,0 +1,304 @@
+"""The Hypervisor: the only software on the chip (paper §IV).
+
+Responsibilities, in workflow order: boot under the CSU (1), answer
+remote attestation and set up per-user secure channels (2), queue and
+exclusively assign bundles to idle HEVMs (3), handle HEVM exceptions —
+layer-3 swaps and world-state queries (5–8) — return sealed traces (9),
+reset cores (10), and synchronize new blocks into the ORAM (11).  It
+also owns the ORAM key, shared across HarDTAPE devices of one
+deployment through device-to-device DHKE.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.ecc import PrivateKey, PublicKey
+from repro.crypto.kdf import Drbg, hkdf_sha256
+from repro.evm.interpreter import ChainContext
+from repro.hardware.csu import BootImage, BootReceipt, ConfigurationSecurityUnit
+from repro.hardware.hevm import HevmCore
+from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
+from repro.hypervisor.attestation import (
+    AttestationReport,
+    build_report,
+    derive_session_key,
+)
+from repro.hypervisor.bundle_codec import (
+    TraceReport,
+    decode_bundle,
+    encode_trace_report,
+    trace_from_result,
+)
+from repro.hypervisor.channel import SealedMessage, SecureChannel
+from repro.hypervisor.scheduler import HevmScheduler
+from repro.hypervisor.sync import BlockSynchronizer
+from repro.oram.adapter import ObliviousStateBackend
+from repro.state.backend import StateBackend
+
+
+@dataclass
+class SecurityFeatures:
+    """Which of the paper's protections are active (-raw … -full)."""
+
+    encryption: bool = True       # E: AES-GCM on user I/O and layer 3
+    signatures: bool = True       # S: ECDSA on user I/O
+    oram_storage: bool = True     # O: Path ORAM for K-V world state
+    oram_code: bool = True        # full: Path ORAM for bytecode too
+    swap_noise: bool = True
+    prefetch: bool = True
+    # Extension (not in the paper): pad each bundle's total ORAM query
+    # count to the next power of two, hiding the count itself (which
+    # otherwise correlates with contract code size — see the
+    # fingerprinting benchmark).
+    query_padding: bool = False
+
+    @classmethod
+    def from_level(cls, level: str) -> "SecurityFeatures":
+        """Levels as in Figure 4: raw, E, ES, ESO, full."""
+        levels = {
+            "raw": cls(False, False, False, False, False, False),
+            "E": cls(True, False, False, False, True, False),
+            "ES": cls(True, True, False, False, True, False),
+            "ESO": cls(True, True, True, False, True, False),
+            "full": cls(True, True, True, True, True, True),
+        }
+        try:
+            return levels[level]
+        except KeyError:
+            raise ValueError(f"unknown security level {level!r}") from None
+
+
+class BundleRejected(Exception):
+    """Bundle refused at admission (gas policy, §IV-B DoS protection)."""
+
+
+@dataclass
+class Session:
+    """One attested user session."""
+
+    session_id: bytes
+    channel: SecureChannel
+    user_public: PublicKey
+    established_at_us: float
+    bundles_run: int = 0
+
+
+@dataclass
+class HypervisorStats:
+    sessions_established: int = 0
+    bundles_executed: int = 0
+    transactions_executed: int = 0
+    crypto_time_us: float = 0.0
+
+
+class Hypervisor:
+    """The trusted firmware orchestrating the whole chip."""
+
+    def __init__(
+        self,
+        csu: ConfigurationSecurityUnit,
+        boot_image: BootImage,
+        cores: list[HevmCore],
+        clock: SimClock,
+        cost: CostModel,
+        direct_backend: StateBackend,
+        oram_backend: ObliviousStateBackend | None,
+        features: SecurityFeatures,
+        oram_key: bytes | None = None,
+        max_bundle_gas: int | None = 2_000_000_000,
+    ) -> None:
+        self._csu = csu
+        self.boot_receipt: BootReceipt = csu.secure_boot(boot_image)
+        self._device_key = PrivateKey.from_bytes(
+            csu._puf.derive_key(b"device-key")  # re-derived on chip, as at boot
+        )
+        self.clock = clock
+        self.cost = cost
+        self.scheduler = HevmScheduler(cores)
+        self._direct_backend = direct_backend
+        self._oram_backend = oram_backend
+        self.features = features
+        self.synchronizer = (
+            BlockSynchronizer(oram_backend, clock=clock, cost=cost)
+            if oram_backend is not None
+            else None
+        )
+        self._rng: Drbg = csu.secure_rng(b"hypervisor")
+        self._sessions: dict[bytes, Session] = {}
+        self.stats = HypervisorStats()
+        # The shared ORAM key (chosen by the first device of a
+        # deployment, or received via device-to-device DHKE).
+        self.oram_key = oram_key or self._rng.random_bytes(32)
+        # §IV-B DoS protection: "The SP can prevent DoS attacks
+        # (occupying an HEVM too long) by charging gas fees or setting
+        # low gas limits because the gas cost approximately represents
+        # the computing resource consumption."
+        self.max_bundle_gas = max_bundle_gas
+
+    # ------------------------------------------------------------------
+    # Step 2: attestation and session establishment
+    # ------------------------------------------------------------------
+
+    def begin_attestation(
+        self, user_nonce: bytes
+    ) -> tuple[AttestationReport, PrivateKey, PrivateKey]:
+        """Produce the signed report plus the fresh session/DH keys."""
+        session_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
+        dh_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
+        self.clock.advance_us(self.cost.attestation_us)
+        report = build_report(
+            self.boot_receipt, self._device_key, session_key, dh_key, user_nonce
+        )
+        return report, session_key, dh_key
+
+    def establish_session(
+        self,
+        report: AttestationReport,
+        session_key: PrivateKey,
+        dh_key: PrivateKey,
+        user_session_public: PublicKey,
+        user_dh_public: PublicKey,
+    ) -> bytes:
+        """Finish DHKE and create the session's secure channel."""
+        transcript = (
+            report.user_nonce
+            + report.session_public.to_bytes()
+            + user_session_public.to_bytes()
+        )
+        aes_key = derive_session_key(dh_key, user_dh_public, transcript)
+        self.clock.advance_us(self.cost.dhke_us)
+        session_id = hashlib.sha256(b"session" + transcript).digest()[:16]
+        self._sessions[session_id] = Session(
+            session_id=session_id,
+            channel=SecureChannel(
+                aes_key,
+                own_signing_key=session_key,
+                peer_verify_key=user_session_public,
+                sign_messages=self.features.signatures,
+            ),
+            user_public=user_session_public,
+            established_at_us=self.clock.now_us,
+        )
+        self.stats.sessions_established += 1
+        return session_id
+
+    # ------------------------------------------------------------------
+    # Steps 3–10: bundle execution
+    # ------------------------------------------------------------------
+
+    def submit_bundle(
+        self,
+        session_id: bytes,
+        sealed_bundle: SealedMessage | bytes,
+        chain: ChainContext,
+        charge_fees: bool = True,
+    ) -> tuple[SealedMessage | bytes, list[TimeBreakdown], "object"]:
+        """Run one bundle end to end; returns the sealed trace report.
+
+        Also returns the per-transaction time breakdowns and the raw run
+        stats so benchmarks can decompose Figure 4 without re-running.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError("unknown session")
+
+        # Fixed per-bundle path: interrupt, header check, DMA programming,
+        # core activation on entry; trace packing and core scrub on exit.
+        self.clock.advance_us(self.cost.bundle_admission_us)
+
+        # Admit the message: decrypt/verify (or accept plaintext in -raw).
+        if self.features.encryption:
+            assert isinstance(sealed_bundle, SealedMessage)
+            payload = session.channel.open(sealed_bundle)
+            self._charge_channel_crypto(len(payload), signed=self.features.signatures)
+        else:
+            assert isinstance(sealed_bundle, (bytes, bytearray))
+            payload = bytes(sealed_bundle)
+        bundle = decode_bundle(payload)
+
+        if self.max_bundle_gas is not None:
+            requested = sum(tx.gas_limit for tx in bundle.transactions)
+            if requested > self.max_bundle_gas:
+                raise BundleRejected(
+                    f"bundle requests {requested} gas, "
+                    f"SP cap is {self.max_bundle_gas}"
+                )
+
+        # Step 3: exclusive assignment of an idle core.
+        self.scheduler.submit(session_id, self.clock.now_us)
+        assigned = self.scheduler.try_assign(self.clock.now_us)
+        assert assigned is not None, "pool exhausted (callers submit serially)"
+        assignment, _ = assigned
+        core = assignment.core
+
+        # Steps 4–8: run on the dedicated hardware set.
+        results, breakdowns, run_stats, _ = core.run_bundle(
+            list(bundle.transactions),
+            chain,
+            self._direct_backend,
+            self._oram_backend,
+            storage_via_oram=self.features.oram_storage,
+            code_via_oram=self.features.oram_code,
+            prefetch_enabled=self.features.prefetch,
+            charge_fees=charge_fees,
+            query_padding=self.features.query_padding,
+        )
+
+        report = TraceReport(
+            bundle_id=bundle.bundle_id(),
+            traces=[trace_from_result(result) for result in results],
+            aborted=run_stats.aborted,
+            abort_reason=run_stats.abort_reason,
+        )
+        encoded = encode_trace_report(report)
+
+        # Step 9: seal and send the trace.
+        if self.features.encryption:
+            sealed_out: SealedMessage | bytes = session.channel.seal(encoded)
+            self._charge_channel_crypto(len(encoded), signed=self.features.signatures)
+        else:
+            sealed_out = encoded
+
+        # Step 10: release and scrub the core.
+        self.scheduler.release(core)
+        session.bundles_run += 1
+        self.stats.bundles_executed += 1
+        self.stats.transactions_executed += len(results)
+        return sealed_out, breakdowns, run_stats
+
+    def _charge_channel_crypto(self, size_bytes: int, signed: bool) -> None:
+        dt = self.cost.channel_seal_us(size_bytes)
+        if signed:
+            # One sign or one verify per direction per bundle.
+            dt += self.cost.ecdsa_sign_us
+        self.clock.advance_us(dt)
+        self.stats.crypto_time_us += dt
+
+    # ------------------------------------------------------------------
+    # Step 11: block synchronization
+    # ------------------------------------------------------------------
+
+    def sync_block(self, state_root: bytes, updates) -> int:
+        if self.synchronizer is None:
+            return 0
+        return self.synchronizer.apply_block(state_root, updates)
+
+    # ------------------------------------------------------------------
+    # ORAM key hand-off between devices
+    # ------------------------------------------------------------------
+
+    def share_oram_key_with(self, other: "Hypervisor") -> None:
+        """Device-to-device DHKE transfer of the shared ORAM key."""
+        own_dh = PrivateKey.from_bytes(self._rng.random_bytes(32))
+        peer_dh = PrivateKey.from_bytes(other._rng.random_bytes(32))
+        shared = own_dh.ecdh(peer_dh.public_key())
+        shared_check = peer_dh.ecdh(own_dh.public_key())
+        assert shared == shared_check
+        wrap_key = hkdf_sha256(shared, info=b"oram-key-wrap")
+        from repro.crypto.suite import AesGcmAead
+
+        sealed = AesGcmAead(wrap_key).encrypt(b"\x00" * 12, self.oram_key)
+        other.oram_key = AesGcmAead(wrap_key).decrypt(b"\x00" * 12, sealed)
+        self.clock.advance_us(self.cost.dhke_us)

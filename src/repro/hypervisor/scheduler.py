@@ -1,0 +1,95 @@
+"""HEVM scheduling (workflow step 3).
+
+Bundles queue until an HEVM is idle; the Hypervisor then *exclusively*
+assigns the idle core to the session and activates it.  No context
+switches happen during a bundle's lifecycle — a core runs one bundle to
+completion, then is reset (all on-chip memories cleared) and returned to
+the pool.  That no-sharing discipline is the root-cause fix for attack
+A2 and is enforced here as an invariant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hardware.hevm import HevmCore
+
+
+class SchedulingError(Exception):
+    """An isolation invariant was about to be violated."""
+
+
+@dataclass
+class Assignment:
+    """One exclusive core↔session binding."""
+
+    core: HevmCore
+    session_id: bytes
+    queued_at_us: float
+    started_at_us: float
+
+
+@dataclass
+class SchedulerStats:
+    bundles_queued: int = 0
+    bundles_started: int = 0
+    bundles_completed: int = 0
+    total_queue_wait_us: float = 0.0
+
+
+class HevmScheduler:
+    """FIFO queue over a fixed pool of dedicated cores."""
+
+    def __init__(self, cores: list[HevmCore]) -> None:
+        self._cores = cores
+        self._idle: deque[HevmCore] = deque(cores)
+        self._queue: deque[tuple[bytes, float, Any]] = deque()
+        self._assignments: dict[int, Assignment] = {}
+        self.stats = SchedulerStats()
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, session_id: bytes, now_us: float, payload: Any = None) -> None:
+        """Queue a bundle for the session."""
+        self._queue.append((session_id, now_us, payload))
+        self.stats.bundles_queued += 1
+
+    def try_assign(self, now_us: float) -> tuple[Assignment, Any] | None:
+        """Pop the next queued bundle onto an idle core, if any."""
+        if not self._queue or not self._idle:
+            return None
+        session_id, queued_at, payload = self._queue.popleft()
+        core = self._idle.popleft()
+        if core.busy:
+            raise SchedulingError(
+                f"core {core.core_id} was in the idle pool but marked busy"
+            )
+        core.busy = True
+        assignment = Assignment(core, session_id, queued_at, now_us)
+        self._assignments[core.core_id] = assignment
+        self.stats.bundles_started += 1
+        self.stats.total_queue_wait_us += now_us - queued_at
+        return assignment, payload
+
+    def release(self, core: HevmCore) -> None:
+        """Workflow step 10: reset the core and return it to the pool."""
+        assignment = self._assignments.pop(core.core_id, None)
+        if assignment is None:
+            raise SchedulingError(
+                f"core {core.core_id} released without an assignment"
+            )
+        core.reset()  # clears L1/L2 caches — nothing leaks across users
+        self._idle.append(core)
+        self.stats.bundles_completed += 1
+
+    def owner_of(self, core: HevmCore) -> bytes | None:
+        assignment = self._assignments.get(core.core_id)
+        return assignment.session_id if assignment else None

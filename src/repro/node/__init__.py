@@ -1,0 +1,5 @@
+"""Simulated Ethereum full node (chain, traces, proofs)."""
+
+from repro.node.node import EthereumNode, ExecutedBlock
+
+__all__ = ["EthereumNode", "ExecutedBlock"]

@@ -1,0 +1,264 @@
+"""A simulated Ethereum full node.
+
+Plays two roles from the paper:
+
+* the **Node** in the HarDTAPE deployment — SP-controlled, serving fresh
+  on-chain data with Merkle proofs during block synchronization, and
+* the **ground truth** of §VI-B — a standard node whose
+  ``debug_traceTransaction`` output HarDTAPE traces must match.
+
+The node executes blocks with the same functional EVM, keeps one
+committed :class:`~repro.state.world.WorldState` snapshot per block so
+historical versions can be queried, and serves account/storage proofs
+against any block's state root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.executor import TransactionResult, execute_transaction
+from repro.evm.interpreter import ChainContext
+from repro.evm.tracer import StructLog, StructTracer
+from repro.hypervisor.sync import AccountUpdate
+from repro.state.receipts import Receipt, block_bloom, find_logs, receipts_root
+from repro.state.account import Account, Address, to_address
+from repro.state.blocks import Block, BlockHeader, Transaction
+from repro.state.journal import JournaledState
+from repro.state.world import WorldState
+
+
+@dataclass
+class ExecutedBlock:
+    """A sealed block plus its execution artefacts."""
+
+    block: Block
+    results: list[TransactionResult]
+    pre_state: WorldState
+    post_state: WorldState
+    touched_accounts: set[Address] = field(default_factory=set)
+    receipts: list[Receipt] = field(default_factory=list)
+
+    def receipts_root(self) -> bytes:
+        return receipts_root(self.receipts)
+
+
+class EthereumNode:
+    """Chain + state + trace/proof RPC surface."""
+
+    def __init__(
+        self,
+        genesis_accounts: dict[Address, Account] | None = None,
+        chain_id: int = 1,
+        coinbase: Address = to_address(0xC0FFEE),
+        block_interval_s: int = 12,
+    ) -> None:
+        self.chain_id = chain_id
+        self.coinbase = coinbase
+        self.block_interval_s = block_interval_s
+        genesis_state = WorldState(
+            {addr: acct.copy() for addr, acct in (genesis_accounts or {}).items()}
+        )
+        genesis_header = BlockHeader(
+            number=0,
+            parent_hash=b"\x00" * 32,
+            state_root=genesis_state.commit(),
+            timestamp=1_700_000_000,
+            coinbase=coinbase,
+            chain_id=chain_id,
+        )
+        self._blocks: list[ExecutedBlock] = [
+            ExecutedBlock(
+                block=Block(genesis_header, []),
+                results=[],
+                pre_state=genesis_state.copy(),
+                post_state=genesis_state,
+            )
+        ]
+        self._block_hashes: dict[int, bytes] = {0: genesis_header.block_hash()}
+
+    # ------------------------------------------------------------------
+    # Chain growth
+    # ------------------------------------------------------------------
+
+    @property
+    def latest(self) -> ExecutedBlock:
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.latest.block.number
+
+    def state_at(self, block_number: int) -> WorldState:
+        """The committed world state *after* executing ``block_number``."""
+        return self._block(block_number).post_state
+
+    def _block(self, number: int) -> ExecutedBlock:
+        if not 0 <= number < len(self._blocks):
+            raise KeyError(f"unknown block {number}")
+        return self._blocks[number]
+
+    def chain_context(self, header: BlockHeader) -> ChainContext:
+        return ChainContext(header, dict(self._block_hashes))
+
+    def add_block(self, transactions: list[Transaction]) -> ExecutedBlock:
+        """Execute and seal a new block on the tip."""
+        parent = self.latest
+        header = BlockHeader(
+            number=parent.block.number + 1,
+            parent_hash=parent.block.block_hash(),
+            state_root=b"\x00" * 32,  # filled after execution
+            timestamp=parent.block.header.timestamp + self.block_interval_s,
+            coinbase=self.coinbase,
+            chain_id=self.chain_id,
+        )
+        pre_state = parent.post_state.copy()
+        working = parent.post_state.copy()
+        chain = self.chain_context(header)
+        results: list[TransactionResult] = []
+        receipts: list[Receipt] = []
+        cumulative_gas = 0
+        touched: set[Address] = set()
+        for tx in transactions:
+            journal = JournaledState(working)
+            result = execute_transaction(journal, chain, tx)
+            results.append(result)
+            cumulative_gas += result.gas_used
+            receipts.append(
+                Receipt(result.status, cumulative_gas, list(result.logs))
+            )
+            write_set = result.write_set
+            assert write_set is not None
+            working.apply_writes(
+                write_set.balances,
+                write_set.nonces,
+                write_set.storage,
+                write_set.codes,
+                write_set.deleted,
+            )
+            touched.update(write_set.balances)
+            touched.update(write_set.nonces)
+            touched.update(addr for addr, _ in write_set.storage)
+            touched.update(write_set.codes)
+            touched.update(write_set.deleted)
+        sealed_header = BlockHeader(
+            number=header.number,
+            parent_hash=header.parent_hash,
+            state_root=working.commit(),
+            timestamp=header.timestamp,
+            coinbase=header.coinbase,
+            gas_limit=header.gas_limit,
+            base_fee=header.base_fee,
+            prev_randao=header.prev_randao,
+            chain_id=header.chain_id,
+        )
+        executed = ExecutedBlock(
+            block=Block(sealed_header, list(transactions)),
+            results=results,
+            pre_state=pre_state,
+            post_state=working,
+            touched_accounts=touched,
+            receipts=receipts,
+        )
+        self._blocks.append(executed)
+        self._block_hashes[sealed_header.number] = sealed_header.block_hash()
+        return executed
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+
+    def debug_trace_transaction(
+        self, block_number: int, tx_index: int, capture_stack: bool = True
+    ) -> tuple[list[StructLog], TransactionResult]:
+        """Re-execute a past transaction and return its struct trace.
+
+        This is the quicknode ``debug_traceTransaction`` stand-in used
+        as the §VI-B correctness ground truth.
+        """
+        executed = self._block(block_number)
+        if not 0 <= tx_index < len(executed.block.transactions):
+            raise KeyError(f"block {block_number} has no tx {tx_index}")
+        working = executed.pre_state.copy()
+        chain = self.chain_context(executed.block.header)
+        result: TransactionResult | None = None
+        logs: list[StructLog] = []
+        for index, tx in enumerate(executed.block.transactions[:tx_index + 1]):
+            journal = JournaledState(working)
+            if index == tx_index:
+                tracer = StructTracer(capture_stack=capture_stack)
+                result = execute_transaction(journal, chain, tx, tracer=tracer)
+                logs = tracer.logs
+            else:
+                result_prev = execute_transaction(journal, chain, tx)
+                write_set = result_prev.write_set
+                assert write_set is not None
+                working.apply_writes(
+                    write_set.balances,
+                    write_set.nonces,
+                    write_set.storage,
+                    write_set.codes,
+                    write_set.deleted,
+                )
+        assert result is not None
+        return logs, result
+
+    def get_logs(
+        self,
+        from_block: int,
+        to_block: int,
+        address: Address | None = None,
+        topic: int | None = None,
+    ) -> list[tuple[int, int, "object"]]:
+        """eth_getLogs: (block, tx index, log) tuples in the range.
+
+        Block-level blooms prune non-matching blocks before receipts are
+        examined, exactly as a real node serves log filters.
+        """
+        matches = []
+        for number in range(from_block, min(to_block, self.height) + 1):
+            executed = self._block(number)
+            bloom = block_bloom(executed.receipts)
+            if address is not None and not bloom.might_contain(address):
+                continue
+            if topic is not None and not bloom.might_contain(
+                topic.to_bytes(32, "big")
+            ):
+                continue
+            for tx_index, log in find_logs(executed.receipts, address, topic):
+                matches.append((number, tx_index, log))
+        return matches
+
+    def get_proof(
+        self, address: Address, storage_keys: list[int], block_number: int
+    ) -> AccountUpdate:
+        """eth_getProof: account + storage proofs at a block."""
+        state = self.state_at(block_number)
+        account = state.accounts.get(address, Account()).copy()
+        return AccountUpdate(
+            address=address,
+            account=account,
+            account_proof=state.prove_account(address),
+            storage_proofs={
+                key: state.prove_storage(address, key) for key in storage_keys
+            },
+        )
+
+    def sync_updates_for(self, block_number: int) -> list[AccountUpdate]:
+        """Everything a synchronizer needs to ingest ``block_number``."""
+        executed = self._block(block_number)
+        updates = []
+        for address in sorted(executed.touched_accounts):
+            account = executed.post_state.accounts.get(address, Account()).copy()
+            updates.append(
+                AccountUpdate(
+                    address=address,
+                    account=account,
+                    account_proof=executed.post_state.prove_account(address),
+                    storage_proofs={
+                        key: executed.post_state.prove_storage(address, key)
+                        for key in account.storage
+                    },
+                )
+            )
+        return updates

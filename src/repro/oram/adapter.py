@@ -1,0 +1,173 @@
+"""The oblivious world-state backend: ORAM-backed ``StateBackend``.
+
+This is HarDTAPE's data path for world-state queries (workflow step 8):
+every account header, storage record, or code page read becomes exactly
+one Path ORAM access of one fixed-size page.  The adapter also handles
+block synchronization (step 11): bulk-loading committed world state into
+the ORAM after Merkle verification.
+
+A ``clock`` callable supplies simulated timestamps so the ORAM server's
+adversary-visible trace carries the timing the hardware model computes;
+``on_query`` lets the Hypervisor (prefetcher, cost model) hook each
+logical query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.oram import paging
+from repro.oram.client import PathOramClient
+from repro.state.account import Account, AccountMeta, Address
+from repro.state.backend import CODE_PAGE_SIZE, STORAGE_GROUP_SIZE
+
+
+@dataclass
+class QueryRecord:
+    """Ground-truth log entry (NOT visible to the adversary)."""
+
+    kind: str  # "account" | "storage" | "code" | "prefetch"
+    page_key: bytes
+    sim_time_us: float
+
+
+@dataclass
+class QueryStats:
+    account_queries: int = 0
+    storage_queries: int = 0
+    code_queries: int = 0
+    prefetch_queries: int = 0
+    log: list[QueryRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.account_queries
+            + self.storage_queries
+            + self.code_queries
+            + self.prefetch_queries
+        )
+
+
+class ObliviousStateBackend:
+    """``StateBackend`` over a Path ORAM client."""
+
+    def __init__(
+        self,
+        client: PathOramClient,
+        clock: Callable[[], float] | None = None,
+        on_query: Callable[[str, bytes], None] | None = None,
+    ) -> None:
+        if client.block_size != paging.PAGE_SIZE:
+            raise ValueError(
+                f"ORAM block size {client.block_size} != page size {paging.PAGE_SIZE}"
+            )
+        self._client = client
+        self._clock = clock or (lambda: 0.0)
+        self._on_query = on_query
+        self.stats = QueryStats()
+        # Code sizes learned from account pages (needed to bound paging).
+        self._code_sizes: dict[Address, int] = {}
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def _query(self, kind: str, page_key: bytes) -> bytes | None:
+        now = self._clock()
+        if self._on_query is not None:
+            self._on_query(kind, page_key)
+        page = self._client.read(page_key, sim_time_us=now)
+        self.stats.log.append(QueryRecord(kind, page_key, now))
+        if kind == "account":
+            self.stats.account_queries += 1
+        elif kind == "storage":
+            self.stats.storage_queries += 1
+        elif kind == "code":
+            self.stats.code_queries += 1
+        else:
+            self.stats.prefetch_queries += 1
+        return page
+
+    def get_meta(self, address: Address) -> AccountMeta:
+        page = self._query("account", paging.account_page_key(address))
+        meta = paging.decode_account_page(page)
+        self._code_sizes[address] = meta.code_size
+        return meta
+
+    def get_storage(self, address: Address, key: int) -> int:
+        page = self._query("storage", paging.storage_page_key(address, key))
+        return paging.decode_storage_record(page, key)
+
+    def get_code_page(self, address: Address, page_index: int) -> bytes:
+        page = self._query("code", paging.code_page_key(address, page_index))
+        return page if page is not None else b"\x00" * CODE_PAGE_SIZE
+
+    def get_code(self, address: Address) -> bytes:
+        size = self._code_sizes.get(address)
+        if size is None:
+            size = self.get_meta(address).code_size
+        if size == 0:
+            return b""
+        pages = [
+            self.get_code_page(address, index)
+            for index in range((size + CODE_PAGE_SIZE - 1) // CODE_PAGE_SIZE)
+        ]
+        return b"".join(pages)[:size]
+
+    def prefetch_code_page(self, address: Address, page_index: int) -> None:
+        """Issue a code-page query flagged as prefetch (same wire shape)."""
+        self._query("prefetch", paging.code_page_key(address, page_index))
+
+    def dummy_query(self) -> None:
+        """One padding access to a reserved page (extension feature).
+
+        Used by the query-count padding countermeasure: physically
+        indistinguishable from any other page access.
+        """
+        self._query("prefetch", b"\xffpadding-page")
+
+    # ------------------------------------------------------------------
+    # Block synchronization (write path)
+    # ------------------------------------------------------------------
+
+    def sync_account(self, address: Address, account: Account) -> int:
+        """Write one account's pages into the ORAM; returns page count."""
+        now = self._clock()
+        pages_written = 0
+        meta = AccountMeta(
+            account.balance, account.nonce, account.code_hash, len(account.code)
+        )
+        self._client.write(
+            paging.account_page_key(address),
+            paging.encode_account_page(meta),
+            sim_time_us=now,
+        )
+        pages_written += 1
+        groups = {key // STORAGE_GROUP_SIZE for key in account.storage}
+        for group in sorted(groups):
+            self._client.write(
+                paging.storage_page_key(address, group * STORAGE_GROUP_SIZE),
+                paging.encode_storage_page(account.storage, group),
+                sim_time_us=now,
+            )
+            pages_written += 1
+        code = account.code
+        for page_index in range((len(code) + CODE_PAGE_SIZE - 1) // CODE_PAGE_SIZE):
+            chunk = code[page_index * CODE_PAGE_SIZE:(page_index + 1) * CODE_PAGE_SIZE]
+            self._client.write(
+                paging.code_page_key(address, page_index),
+                chunk.ljust(CODE_PAGE_SIZE, b"\x00"),
+                sim_time_us=now,
+            )
+            pages_written += 1
+        self._code_sizes[address] = len(code)
+        return pages_written
+
+    def sync_world(self, accounts: dict[Address, Account]) -> int:
+        """Bulk-load a whole committed world state; returns page count."""
+        total = 0
+        for address, account in accounts.items():
+            total += self.sync_account(address, account)
+        return total

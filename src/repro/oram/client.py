@@ -1,0 +1,267 @@
+"""The Path ORAM client (Stefanov & Shi, 2012).
+
+The client lives inside the trusted Hypervisor (paper §IV-D): it keeps
+the stash and the position map on-chip and turns each logical page
+access into one uniformly random root-to-leaf path read plus an
+identically shaped path write.  Block ciphertexts are re-encrypted with
+fresh nonces on every write-back, so the SP cannot correlate contents
+across accesses.
+
+Block wire format (all slots the same size)::
+
+    nonce (12) || AEAD( kind (1) || key_len (2) || key || payload , pad to slot )
+
+Dummies carry kind=0 and random padding; real blocks carry kind=1.
+
+**Rollback protection** (hardening beyond the paper's §V-A6 claim):
+every bucket is authenticated against AAD ``node_index || version``,
+where the version is a per-node write counter kept in trusted client
+memory (8 bytes x node count — ~64 KB at height 12, on-chip scale).
+An SP replaying an older (individually valid) bucket fails AEAD
+verification, so stale world state can never be served silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import Drbg
+from repro.crypto.suite import AeadCipher, Blake2Aead
+from repro.oram.server import OramServer
+
+BlockKey = bytes
+
+_KIND_DUMMY = 0
+_KIND_REAL = 1
+
+
+@dataclass
+class ClientStats:
+    """Client-side accounting for the ablation benches."""
+
+    accesses: int = 0
+    max_stash_blocks: int = 0
+    stash_history: list[int] = field(default_factory=list)
+    blocks_encrypted: int = 0
+    blocks_decrypted: int = 0
+
+
+class StashOverflow(Exception):
+    """The stash exceeded its configured on-chip bound."""
+
+
+class PathOramClient:
+    """A Path ORAM client over an :class:`OramServer`.
+
+    ``block_size`` is the payload size (the paper's 1 KB *blocks*);
+    ``stash_limit`` models the on-chip stash memory (the paper sizes it
+    at O(log n) ≈ 30 pages ≈ 1 MB; exceeding it raises
+    :class:`StashOverflow`, which in hardware would be a fatal error).
+    """
+
+    def __init__(
+        self,
+        server: OramServer,
+        key: bytes,
+        block_size: int = 1024,
+        stash_limit: int | None = None,
+        rng: Drbg | None = None,
+        cipher_factory=Blake2Aead,
+        position_map: "PositionMapLike | None" = None,
+    ) -> None:
+        self.server = server
+        self.block_size = block_size
+        self.stash_limit = stash_limit
+        self._rng = rng or Drbg(key, personalization=b"oram-client")
+        self._cipher: AeadCipher = cipher_factory(key)
+        self._stash: dict[BlockKey, bytes] = {}
+        self._nonce_counter = 0
+        # Anti-rollback write counters, one per tree node (on-chip).
+        self._node_versions: dict[int, int] = {}
+        self._positions: PositionMapLike = (
+            position_map if position_map is not None else DictPositionMap()
+        )
+        self.stats = ClientStats()
+        # Pre-fill the tree with dummies so the shape is uniform from
+        # the first access.
+        self._initialize_tree()
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bucket_aad(node: int, version: int) -> bytes:
+        return node.to_bytes(8, "big") + version.to_bytes(8, "big")
+
+    def _encrypt_slot(
+        self, kind: int, key: BlockKey, payload: bytes, aad: bytes = b""
+    ) -> bytes:
+        if len(key) > 64:
+            raise ValueError("block key too long")
+        body = bytearray()
+        body.append(kind)
+        body.extend(len(key).to_bytes(2, "big"))
+        body.extend(key.ljust(64, b"\x00"))
+        body.extend(payload.ljust(self.block_size, b"\x00"))
+        # A monotonic counter guarantees nonce freshness; the ciphertext
+        # is still re-randomized on every write-back.
+        self._nonce_counter += 1
+        nonce = self._nonce_counter.to_bytes(12, "big")
+        self.stats.blocks_encrypted += 1
+        return nonce + self._cipher.encrypt(nonce, bytes(body), aad)
+
+    def _decrypt_slot(
+        self, blob: bytes, aad: bytes = b""
+    ) -> tuple[int, BlockKey, bytes]:
+        nonce, data = blob[:12], blob[12:]
+        plain = self._cipher.decrypt(nonce, data, aad)
+        self.stats.blocks_decrypted += 1
+        kind = plain[0]
+        key_length = int.from_bytes(plain[1:3], "big")
+        key = plain[3:3 + key_length]
+        payload = plain[67:67 + self.block_size]
+        return kind, key, payload
+
+    def _dummy_slot(self, aad: bytes = b"") -> bytes:
+        return self._encrypt_slot(_KIND_DUMMY, b"", b"", aad)
+
+    def _initialize_tree(self) -> None:
+        """Buckets fill lazily: an unwritten bucket reads as empty, and
+        every write-back emits exactly ``bucket_size`` slots, so after
+        the first access each touched bucket is shape-uniform."""
+
+    # ------------------------------------------------------------------
+    # The access protocol
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        key: BlockKey,
+        write_data: bytes | None = None,
+        sim_time_us: float = 0.0,
+    ) -> bytes | None:
+        """One oblivious access: read (and optionally update) a block.
+
+        Returns the block payload, or ``None`` when the key has never
+        been written.  Every call costs exactly one path read and one
+        path write regardless of the outcome.
+        """
+        self.stats.accesses += 1
+        leaf_count = self.server.leaf_count
+
+        old_leaf = self._positions.get(key)
+        scanned_leaf = old_leaf if old_leaf is not None else self._rng.randint(leaf_count)
+        new_leaf = self._rng.randint(leaf_count)
+
+        # Read the path and absorb all real blocks into the stash.  The
+        # per-node version AAD makes replayed (stale) buckets fail here.
+        buckets = self.server.read_path(scanned_leaf, sim_time_us)
+        for node, node_blobs in buckets.items():
+            aad = self._bucket_aad(node, self._node_versions.get(node, 0))
+            for blob in node_blobs:
+                kind, block_key, payload = self._decrypt_slot(blob, aad)
+                if kind == _KIND_REAL and block_key not in self._stash:
+                    self._stash[block_key] = payload
+
+        result = self._stash.get(key)
+        if write_data is not None:
+            payload = write_data.ljust(self.block_size, b"\x00")
+            if len(payload) > self.block_size:
+                raise ValueError("write larger than block size")
+            self._stash[key] = payload
+            result = payload
+        if key in self._stash:
+            self._positions.set(key, new_leaf)
+
+        self._evict(scanned_leaf, sim_time_us)
+        self._record_stash()
+        return result
+
+    def _evict(self, leaf: int, sim_time_us: float) -> None:
+        """Greedy write-back: place stash blocks as deep as possible."""
+        path = self.server.path_nodes(leaf)
+        z = self.server.bucket_size
+        new_buckets: dict[int, list[bytes]] = {}
+        placed: set[BlockKey] = set()
+        # Deepest node first.
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            version = self._node_versions.get(node, 0) + 1
+            self._node_versions[node] = version
+            aad = self._bucket_aad(node, version)
+            chosen: list[bytes] = []
+            for block_key, payload in self._stash.items():
+                if len(chosen) >= z:
+                    break
+                if block_key in placed:
+                    continue
+                block_leaf = self._positions.get(block_key)
+                if block_leaf is None:
+                    continue
+                if self._node_on_path(node, depth, block_leaf):
+                    chosen.append(
+                        self._encrypt_slot(_KIND_REAL, block_key, payload, aad)
+                    )
+                    placed.add(block_key)
+            while len(chosen) < z:
+                chosen.append(self._dummy_slot(aad))
+            new_buckets[node] = chosen
+        for block_key in placed:
+            del self._stash[block_key]
+        self.server.write_path(leaf, new_buckets, sim_time_us)
+
+    def _node_on_path(self, node: int, depth: int, leaf: int) -> bool:
+        """Is ``node`` (at ``depth``) an ancestor of ``leaf``'s leaf node?"""
+        leaf_node = self.server.leaf_count + leaf
+        return (leaf_node >> (self.server.height - depth)) == node
+
+    def _record_stash(self) -> None:
+        size = len(self._stash)
+        self.stats.stash_history.append(size)
+        if size > self.stats.max_stash_blocks:
+            self.stats.max_stash_blocks = size
+        if self.stash_limit is not None and size > self.stash_limit:
+            raise StashOverflow(
+                f"stash holds {size} blocks, limit is {self.stash_limit}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def read(self, key: BlockKey, sim_time_us: float = 0.0) -> bytes | None:
+        return self.access(key, None, sim_time_us)
+
+    def write(self, key: BlockKey, data: bytes, sim_time_us: float = 0.0) -> None:
+        self.access(key, data, sim_time_us)
+
+    @property
+    def stash_bytes(self) -> int:
+        return len(self._stash) * self.block_size
+
+
+class DictPositionMap:
+    """Plain on-chip position map (fine for simulation-scale states)."""
+
+    def __init__(self) -> None:
+        self._map: dict[BlockKey, int] = {}
+
+    def get(self, key: BlockKey) -> int | None:
+        return self._map.get(key)
+
+    def set(self, key: BlockKey, leaf: int) -> None:
+        self._map[key] = leaf
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class PositionMapLike:
+    """Structural interface for position maps (dict-backed or recursive)."""
+
+    def get(self, key: BlockKey) -> int | None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def set(self, key: BlockKey, leaf: int) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,107 @@
+"""The paged world-state schema (paper §IV-D, "Mixing query types").
+
+Three page kinds, all exactly one 1 KB ORAM *block*, so responses are
+indistinguishable by size:
+
+* **account pages** — one per account: balance, nonce, code hash, code
+  size (the K-V header every BALANCE/EXTCODESIZE query needs),
+* **storage pages** — 32 consecutive storage records grouped per page
+  (``group = key // 32``), exploiting Solidity's consecutive slot
+  layout,
+* **code pages** — contract bytecode split into 1 KB chunks.
+
+Page keys are namespaced byte strings; :class:`PageDirectory` densifies
+them to sequential integers when a recursive position map is in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.state.account import AccountMeta, Address, EMPTY_CODE_HASH
+from repro.state.backend import CODE_PAGE_SIZE, STORAGE_GROUP_SIZE
+
+PAGE_SIZE = CODE_PAGE_SIZE  # 1 KB everywhere, per the paper
+
+_ACCOUNT_TAG = b"A"
+_STORAGE_TAG = b"S"
+_CODE_TAG = b"C"
+
+
+def account_page_key(address: Address) -> bytes:
+    return _ACCOUNT_TAG + address
+
+
+def storage_page_key(address: Address, key: int) -> bytes:
+    group = key // STORAGE_GROUP_SIZE
+    return _STORAGE_TAG + address + group.to_bytes(32, "big")
+
+
+def code_page_key(address: Address, page_index: int) -> bytes:
+    return _CODE_TAG + address + page_index.to_bytes(4, "big")
+
+
+def encode_account_page(meta: AccountMeta) -> bytes:
+    """Serialize an account header into a fixed 1 KB page."""
+    body = (
+        meta.balance.to_bytes(32, "big")
+        + meta.nonce.to_bytes(32, "big")
+        + meta.code_hash
+        + meta.code_size.to_bytes(32, "big")
+    )
+    return body.ljust(PAGE_SIZE, b"\x00")
+
+
+def decode_account_page(page: bytes | None) -> AccountMeta:
+    if page is None:
+        return AccountMeta(0, 0, EMPTY_CODE_HASH, 0)
+    return AccountMeta(
+        balance=int.from_bytes(page[0:32], "big"),
+        nonce=int.from_bytes(page[32:64], "big"),
+        code_hash=page[64:96],
+        code_size=int.from_bytes(page[96:128], "big"),
+    )
+
+
+def encode_storage_page(values: dict[int, int], group: int) -> bytes:
+    """Pack the 32 records of ``group`` into a 1 KB page."""
+    out = bytearray(PAGE_SIZE)
+    base = group * STORAGE_GROUP_SIZE
+    for slot in range(STORAGE_GROUP_SIZE):
+        value = values.get(base + slot, 0)
+        out[slot * 32:(slot + 1) * 32] = value.to_bytes(32, "big")
+    return bytes(out)
+
+
+def decode_storage_record(page: bytes | None, key: int) -> int:
+    if page is None:
+        return 0
+    slot = key % STORAGE_GROUP_SIZE
+    return int.from_bytes(page[slot * 32:(slot + 1) * 32], "big")
+
+
+@dataclass
+class PageDirectory:
+    """Densifies page keys to sequential ints for recursive posmaps.
+
+    The directory itself is small (one int per *touched* page) and, in
+    hardware, would live in the Hypervisor's on-chip memory alongside
+    the top recursion level.
+    """
+
+    next_id: int = 0
+
+    def __post_init__(self) -> None:
+        self._ids: dict[bytes, int] = {}
+
+    def id_for(self, page_key: bytes) -> int:
+        existing = self._ids.get(page_key)
+        if existing is not None:
+            return existing
+        assigned = self.next_id
+        self._ids[page_key] = assigned
+        self.next_id += 1
+        return assigned
+
+    def __len__(self) -> int:
+        return len(self._ids)

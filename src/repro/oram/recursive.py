@@ -1,0 +1,137 @@
+"""Recursive position maps.
+
+Path ORAM's position map is O(n); the paper notes it "can be stored in
+higher-level ORAMs recursively if it is too big" (§II-C).  For the
+world-state scale HarDTAPE targets (~10^9 blocks) the top-level map
+would not fit on-chip, so this module implements the standard recursion:
+positions are packed into fixed-size blocks stored in a smaller Path
+ORAM, whose own (much smaller) position map is held on-chip.
+
+Keys must be dense integers for the recursion to pack; the
+:class:`~repro.oram.paging.PageDirectory` provides that densification
+for world-state page keys.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import Drbg
+from repro.oram.client import PathOramClient
+from repro.oram.server import OramServer
+
+_ENTRY_SIZE = 4  # 4-byte leaf indices
+_UNSET = 0xFFFFFFFF
+
+
+class RecursivePositionMap:
+    """Position map for dense integer block ids, backed by its own ORAM.
+
+    Implements the :class:`~repro.oram.client.PositionMapLike` interface
+    for integer keys encoded as 8-byte big-endian block keys (so it can
+    plug directly into a parent :class:`PathOramClient`).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        key: bytes,
+        entries_per_block: int = 256,
+        rng: Drbg | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.entries_per_block = entries_per_block
+        block_count = (capacity + entries_per_block - 1) // entries_per_block
+        height = max(1, (block_count - 1).bit_length())
+        self._server = OramServer(height=height, query_cpu_us=25.0)
+        self._client = PathOramClient(
+            self._server,
+            key=key,
+            block_size=entries_per_block * _ENTRY_SIZE,
+            rng=rng,
+        )
+        # Write-through cache avoids re-reading a block for get-then-set
+        # patterns; correctness is unaffected (single-client).
+        self._cache: dict[int, bytearray] = {}
+
+    @property
+    def inner_accesses(self) -> int:
+        """Number of recursion-level ORAM accesses performed so far."""
+        return self._client.stats.accesses
+
+    def _block_key(self, block_index: int) -> bytes:
+        return block_index.to_bytes(8, "big")
+
+    def _load_block(self, block_index: int) -> bytearray:
+        cached = self._cache.get(block_index)
+        if cached is not None:
+            return cached
+        raw = self._client.read(self._block_key(block_index))
+        if raw is None:
+            raw = _UNSET.to_bytes(_ENTRY_SIZE, "big") * self.entries_per_block
+        block = bytearray(raw)
+        self._cache[block_index] = block
+        return block
+
+    def _store_block(self, block_index: int, block: bytearray) -> None:
+        self._cache[block_index] = block
+        self._client.write(self._block_key(block_index), bytes(block))
+
+    def get(self, key: bytes) -> int | None:
+        index = int.from_bytes(key, "big")
+        if not 0 <= index < self.capacity:
+            raise KeyError(f"position-map index {index} out of range")
+        block = self._load_block(index // self.entries_per_block)
+        offset = (index % self.entries_per_block) * _ENTRY_SIZE
+        value = int.from_bytes(block[offset:offset + _ENTRY_SIZE], "big")
+        return None if value == _UNSET else value
+
+    def set(self, key: bytes, leaf: int) -> None:
+        index = int.from_bytes(key, "big")
+        if not 0 <= index < self.capacity:
+            raise KeyError(f"position-map index {index} out of range")
+        block_index = index // self.entries_per_block
+        block = self._load_block(block_index)
+        offset = (index % self.entries_per_block) * _ENTRY_SIZE
+        block[offset:offset + _ENTRY_SIZE] = leaf.to_bytes(_ENTRY_SIZE, "big")
+        self._store_block(block_index, block)
+
+
+class DirectoryPositionMap:
+    """Position map over arbitrary page keys via dense-id recursion.
+
+    Composes a :class:`~repro.oram.paging.PageDirectory` (page key →
+    dense int, on-chip) with a :class:`RecursivePositionMap` (dense int
+    → leaf, stored in a smaller ORAM), giving a Path ORAM client for
+    world-state pages a recursion-backed position map as §II-C sketches.
+    """
+
+    def __init__(
+        self, capacity: int, key: bytes, entries_per_block: int = 256
+    ) -> None:
+        from repro.oram.paging import PageDirectory
+
+        self._directory = PageDirectory()
+        self._recursive = RecursivePositionMap(
+            capacity, key, entries_per_block=entries_per_block
+        )
+        self.capacity = capacity
+
+    def get(self, key: bytes) -> int | None:
+        dense = self._directory.id_for(key)
+        if dense >= self.capacity:
+            raise KeyError("position map capacity exhausted")
+        return self._recursive.get(dense.to_bytes(8, "big"))
+
+    def set(self, key: bytes, leaf: int) -> None:
+        dense = self._directory.id_for(key)
+        if dense >= self.capacity:
+            raise KeyError("position map capacity exhausted")
+        self._recursive.set(dense.to_bytes(8, "big"), leaf)
+
+    @property
+    def inner_accesses(self) -> int:
+        return self._recursive.inner_accesses
+
+    def __len__(self) -> int:
+        return len(self._directory)

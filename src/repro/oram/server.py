@@ -1,0 +1,140 @@
+"""The Path ORAM server: untrusted bucket-tree storage run by the SP.
+
+The server stores opaque encrypted *blocks* in a complete binary tree of
+buckets and answers path reads/writes.  Everything it observes — which
+physical paths are touched, when, and the (identical-looking)
+ciphertexts — is recorded through an observer hook so the security
+benchmarks can play the adversary (attack A7) with exactly the server's
+view and nothing more.
+
+Per the paper's scalability analysis (§VI-D), the server charges a fixed
+CPU cost per query so the 25 µs/query capacity bound can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+
+@dataclass
+class PathAccessEvent:
+    """What the SP sees for one ORAM access: a physical path, a time."""
+
+    op_index: int
+    leaf: int
+    node_indices: tuple[int, ...]
+    sim_time_us: float
+
+
+class ServerObserver(Protocol):
+    """The adversary's tap on the ORAM server."""
+
+    def on_access(self, event: PathAccessEvent) -> None:
+        ...
+
+
+@dataclass
+class ServerStats:
+    """Load accounting for the scalability bench."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_moved: int = 0
+    busy_time_us: float = 0.0
+
+
+class OramServer:
+    """Heap-indexed complete binary tree of buckets holding ciphertexts.
+
+    Nodes are numbered 1..2^(height+1)-1; leaves are
+    ``2^height + leaf``.  Each bucket holds exactly ``bucket_size``
+    ciphertext slots (dummies included), so bucket contents are always
+    the same shape on the wire.
+    """
+
+    def __init__(
+        self,
+        height: int,
+        bucket_size: int = 4,
+        query_cpu_us: float = 25.0,
+    ) -> None:
+        if height < 0:
+            raise ValueError("height must be non-negative")
+        self.height = height
+        self.bucket_size = bucket_size
+        self.query_cpu_us = query_cpu_us
+        self.leaf_count = 1 << height
+        node_count = (1 << (height + 1))  # index 0 unused
+        self._buckets: list[list[bytes]] = [[] for _ in range(node_count)]
+        self.stats = ServerStats()
+        self._observers: list[Callable[[PathAccessEvent], None]] = []
+        self._op_index = 0
+
+    # -- adversary hooks -------------------------------------------------
+
+    def add_observer(self, observer: Callable[[PathAccessEvent], None]) -> None:
+        self._observers.append(observer)
+
+    def _notify(self, leaf: int, nodes: tuple[int, ...], sim_time_us: float) -> None:
+        event = PathAccessEvent(self._op_index, leaf, nodes, sim_time_us)
+        self._op_index += 1
+        for observer in self._observers:
+            observer(event)
+
+    # -- tree geometry ---------------------------------------------------
+
+    def path_nodes(self, leaf: int) -> tuple[int, ...]:
+        """Node indices from the root down to ``leaf``."""
+        if not 0 <= leaf < self.leaf_count:
+            raise ValueError(f"leaf {leaf} out of range")
+        node = self.leaf_count + leaf
+        nodes = []
+        while node >= 1:
+            nodes.append(node)
+            node //= 2
+        return tuple(reversed(nodes))
+
+    # -- storage protocol --------------------------------------------------
+
+    def read_path(self, leaf: int, sim_time_us: float = 0.0) -> dict[int, list[bytes]]:
+        """Return the bucket contents of every node on the path to ``leaf``."""
+        nodes = self.path_nodes(leaf)
+        self._notify(leaf, nodes, sim_time_us)
+        self.stats.reads += 1
+        self.stats.busy_time_us += self.query_cpu_us
+        out = {}
+        for node in nodes:
+            bucket = self._buckets[node]
+            self.stats.bytes_moved += sum(len(blob) for blob in bucket)
+            out[node] = list(bucket)
+        return out
+
+    def write_path(
+        self, leaf: int, buckets: dict[int, list[bytes]], sim_time_us: float = 0.0
+    ) -> None:
+        """Replace the buckets along the path to ``leaf``.
+
+        Every written bucket must hold exactly ``bucket_size`` slots —
+        the shape invariant that makes all writes look identical.
+        """
+        nodes = set(self.path_nodes(leaf))
+        self.stats.writes += 1
+        for node, bucket in buckets.items():
+            if node not in nodes:
+                raise ValueError(f"node {node} is not on the path to leaf {leaf}")
+            if len(bucket) != self.bucket_size:
+                raise ValueError(
+                    f"bucket must have exactly {self.bucket_size} slots, "
+                    f"got {len(bucket)}"
+                )
+            self.stats.bytes_moved += sum(len(blob) for blob in bucket)
+            self._buckets[node] = list(bucket)
+
+    @property
+    def total_queries(self) -> int:
+        return self.stats.reads
+
+    def capacity_blocks(self) -> int:
+        """Total real-block capacity of the tree."""
+        return (2 * self.leaf_count - 1) * self.bucket_size

@@ -1,0 +1,5 @@
+"""Recursive Length Prefix (RLP) serialization, per the Ethereum spec."""
+
+from repro.rlp.codec import DecodingError, decode, encode, encode_uint, decode_uint
+
+__all__ = ["DecodingError", "decode", "encode", "encode_uint", "decode_uint"]

@@ -1,0 +1,22 @@
+"""Adversary models and statistical obliviousness tests."""
+
+from repro.security.analysis import (
+    QueryTypeClassifier,
+    frequency_attack,
+    mutual_information,
+    path_uniformity_pvalue,
+    repeated_access_correlation,
+    size_leakage,
+)
+from repro.security.observer import AccessPatternObserver, SwapBusObserver
+
+__all__ = [
+    "AccessPatternObserver",
+    "QueryTypeClassifier",
+    "SwapBusObserver",
+    "frequency_attack",
+    "mutual_information",
+    "path_uniformity_pvalue",
+    "repeated_access_correlation",
+    "size_leakage",
+]

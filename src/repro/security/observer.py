@@ -1,0 +1,62 @@
+"""Adversary observers: exactly what the SP can see, and nothing more.
+
+The threat model gives the SP the ORAM server's physical access trace
+(A7), the layer-3 swap bus (A5), and message timing.  These observers
+collect those views so the statistical attacks in
+:mod:`repro.security.analysis` can be run against real traces produced
+by the system — the empirical counterpart of the paper's §V arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.memory_layers import SwapEvent
+from repro.oram.server import OramServer, PathAccessEvent
+
+
+@dataclass
+class AccessPatternObserver:
+    """Taps an ORAM server; records (time, leaf) for every access."""
+
+    events: list[PathAccessEvent] = field(default_factory=list)
+
+    def attach(self, server: OramServer) -> "AccessPatternObserver":
+        server.add_observer(self.events.append)
+        return self
+
+    @property
+    def leaves(self) -> list[int]:
+        return [event.leaf for event in self.events]
+
+    @property
+    def times_us(self) -> list[float]:
+        return [event.sim_time_us for event in self.events]
+
+    def inter_arrival_us(self) -> list[float]:
+        times = self.times_us
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+@dataclass
+class SwapBusObserver:
+    """Collects the adversary-visible layer-3 swap events.
+
+    Only ``direction``, ``page_count`` (noise included) and time are
+    readable; ``real_pages`` is ground truth used by the analysis to
+    quantify what the adversary could NOT recover.
+    """
+
+    events: list[SwapEvent] = field(default_factory=list)
+
+    def ingest(self, events: list[SwapEvent]) -> None:
+        self.events.extend(events)
+
+    def observed_sizes(self) -> list[int]:
+        return [event.page_count for event in self.events]
+
+    def true_sizes(self) -> list[int]:
+        return [event.real_pages for event in self.events]

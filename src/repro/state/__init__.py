@@ -1,0 +1,55 @@
+"""World-state substrate: accounts, journaled overlays, blocks, backends."""
+
+from repro.state.account import (
+    Account,
+    AccountMeta,
+    Address,
+    EMPTY_CODE_HASH,
+    EMPTY_META,
+    WORD,
+    to_address,
+)
+from repro.state.backend import (
+    CODE_PAGE_SIZE,
+    DictBackend,
+    STORAGE_GROUP_SIZE,
+    StateBackend,
+    assemble_code,
+)
+from repro.state.blocks import Block, BlockHeader, Transaction
+from repro.state.journal import JournaledState, WriteSet
+from repro.state.receipts import (
+    Bloom,
+    Receipt,
+    block_bloom,
+    find_logs,
+    receipts_root,
+)
+from repro.state.world import ProvenAccount, WorldState
+
+__all__ = [
+    "Account",
+    "AccountMeta",
+    "Address",
+    "Block",
+    "Bloom",
+    "BlockHeader",
+    "CODE_PAGE_SIZE",
+    "DictBackend",
+    "EMPTY_CODE_HASH",
+    "EMPTY_META",
+    "JournaledState",
+    "STORAGE_GROUP_SIZE",
+    "StateBackend",
+    "ProvenAccount",
+    "Receipt",
+    "Transaction",
+    "WORD",
+    "WorldState",
+    "WriteSet",
+    "block_bloom",
+    "assemble_code",
+    "find_logs",
+    "receipts_root",
+    "to_address",
+]

@@ -1,0 +1,97 @@
+"""Account model and canonical Ethereum encodings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import rlp
+from repro.crypto.keccak import keccak256
+
+# keccak256(b"") — the code hash of every non-contract account.
+EMPTY_CODE_HASH = keccak256(b"")
+
+Address = bytes  # 20 bytes
+StorageKey = int  # 256-bit
+StorageValue = int  # 256-bit
+
+WORD = 2**256
+
+
+def to_address(value: int | bytes) -> Address:
+    """Normalize an int or bytes into a 20-byte address."""
+    if isinstance(value, int):
+        return (value % 2**160).to_bytes(20, "big")
+    if len(value) > 20:
+        return bytes(value[-20:])
+    return bytes(value).rjust(20, b"\x00")
+
+
+@dataclass
+class Account:
+    """A mutable world-state account.
+
+    ``storage`` maps 256-bit keys to 256-bit values; zero-valued slots
+    are treated as absent, matching Ethereum semantics.
+    """
+
+    balance: int = 0
+    nonce: int = 0
+    code: bytes = b""
+    storage: dict[StorageKey, StorageValue] = field(default_factory=dict)
+
+    @property
+    def code_hash(self) -> bytes:
+        return keccak256(self.code) if self.code else EMPTY_CODE_HASH
+
+    @property
+    def is_empty(self) -> bool:
+        """EIP-161 emptiness: no balance, no nonce, no code."""
+        return self.balance == 0 and self.nonce == 0 and not self.code
+
+    def copy(self) -> "Account":
+        return Account(self.balance, self.nonce, self.code, dict(self.storage))
+
+    def storage_root(self) -> bytes:
+        """Compute the storage trie root (secure trie: hashed keys)."""
+        from repro.trie import MerklePatriciaTrie
+
+        trie = MerklePatriciaTrie()
+        for key, value in self.storage.items():
+            if value:
+                trie.put(
+                    keccak256(key.to_bytes(32, "big")),
+                    rlp.encode(rlp.encode_uint(value)),
+                )
+        return trie.root_hash()
+
+    def rlp_encode(self) -> bytes:
+        """RLP account record: [nonce, balance, storage_root, code_hash]."""
+        return rlp.encode(
+            [
+                rlp.encode_uint(self.nonce),
+                rlp.encode_uint(self.balance),
+                self.storage_root(),
+                self.code_hash,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class AccountMeta:
+    """The fixed-size account header HarDTAPE fetches as a K-V query."""
+
+    balance: int
+    nonce: int
+    code_hash: bytes
+    code_size: int
+
+    @property
+    def exists(self) -> bool:
+        return (
+            self.balance != 0
+            or self.nonce != 0
+            or self.code_hash != EMPTY_CODE_HASH
+        )
+
+
+EMPTY_META = AccountMeta(0, 0, EMPTY_CODE_HASH, 0)

@@ -1,0 +1,144 @@
+"""Transaction receipts and log bloom filters (yellow paper §4.3.1).
+
+Receipts give the node a queryable, authenticated record of execution
+outcomes: status, cumulative gas, logs, and the 2048-bit bloom filter
+over log addresses and topics that lets clients skip blocks that cannot
+contain their events.  The receipts trie root goes into the block
+header like mainnet's ``receiptsRoot``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro import rlp
+from repro.crypto.keccak import keccak256
+from repro.state.account import Address
+
+if TYPE_CHECKING:  # avoid a state <-> evm import cycle; Log is duck-typed
+    from repro.evm.frame import Log
+
+BLOOM_BITS = 2048
+BLOOM_BYTES = BLOOM_BITS // 8
+
+
+def _bloom_bits_for(entry: bytes) -> tuple[int, int, int]:
+    """The three bit indices Ethereum's bloom uses per entry.
+
+    Take the keccak256 of the entry; the low 11 bits of each of the
+    first three 16-bit words select the bits.
+    """
+    digest = keccak256(entry)
+    return tuple(
+        int.from_bytes(digest[i:i + 2], "big") & (BLOOM_BITS - 1)
+        for i in (0, 2, 4)
+    )  # type: ignore[return-value]
+
+
+class Bloom:
+    """A 2048-bit log bloom."""
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def add(self, entry: bytes) -> None:
+        for bit in _bloom_bits_for(entry):
+            self.value |= 1 << bit
+
+    def might_contain(self, entry: bytes) -> bool:
+        return all(self.value >> bit & 1 for bit in _bloom_bits_for(entry))
+
+    def add_log(self, log: "Log") -> None:
+        self.add(log.address)
+        for topic in log.topics:
+            self.add(topic.to_bytes(32, "big"))
+
+    def __or__(self, other: "Bloom") -> "Bloom":
+        return Bloom(self.value | other.value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(BLOOM_BYTES, "big")
+
+    @classmethod
+    def from_logs(cls, logs: "list[Log]") -> "Bloom":
+        bloom = cls()
+        for log in logs:
+            bloom.add_log(log)
+        return bloom
+
+
+@dataclass
+class Receipt:
+    """One transaction's execution receipt."""
+
+    status: int
+    cumulative_gas: int
+    logs: "list[Log]" = field(default_factory=list)
+
+    def bloom(self) -> Bloom:
+        return Bloom.from_logs(self.logs)
+
+    def rlp_encode(self) -> bytes:
+        return rlp.encode(
+            [
+                rlp.encode_uint(self.status),
+                rlp.encode_uint(self.cumulative_gas),
+                self.bloom().to_bytes(),
+                [
+                    [
+                        log.address,
+                        [topic.to_bytes(32, "big") for topic in log.topics],
+                        log.data,
+                    ]
+                    for log in self.logs
+                ],
+            ]
+        )
+
+
+def receipts_root(receipts: list[Receipt]) -> bytes:
+    """The Merkle root over RLP(index) -> RLP(receipt), as on mainnet."""
+    from repro.trie import MerklePatriciaTrie
+
+    trie = MerklePatriciaTrie()
+    for index, receipt in enumerate(receipts):
+        trie.put(rlp.encode(rlp.encode_uint(index)), receipt.rlp_encode())
+    return trie.root_hash()
+
+
+def block_bloom(receipts: list[Receipt]) -> Bloom:
+    """The union bloom stored in the block header."""
+    bloom = Bloom()
+    for receipt in receipts:
+        bloom.value |= receipt.bloom().value
+    return bloom
+
+
+def find_logs(
+    receipts: list[Receipt],
+    address: Address | None = None,
+    topic: int | None = None,
+) -> "list[tuple[int, Log]]":
+    """eth_getLogs-style filter over a block's receipts.
+
+    Uses the blooms to skip receipts that cannot match, then confirms
+    exactly — the same two-phase structure clients use against nodes.
+    """
+    matches: "list[tuple[int, Log]]" = []
+    for index, receipt in enumerate(receipts):
+        bloom = receipt.bloom()
+        if address is not None and not bloom.might_contain(address):
+            continue
+        if topic is not None and not bloom.might_contain(
+            topic.to_bytes(32, "big")
+        ):
+            continue
+        for log in receipt.logs:
+            if address is not None and log.address != address:
+                continue
+            if topic is not None and topic not in log.topics:
+                continue
+            matches.append((index, log))
+    return matches

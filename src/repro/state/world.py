@@ -1,0 +1,123 @@
+"""The full node's authenticated world state (MPT-backed).
+
+:class:`WorldState` is a :class:`~repro.state.backend.StateBackend` that
+additionally maintains the Merkle Patricia Tries so it can report state
+roots and serve Merkle proofs — the role the paper's (SP-controlled)
+Node plays during block synchronization.
+"""
+
+from __future__ import annotations
+
+from repro import rlp
+from repro.crypto.keccak import keccak256
+from repro.state.account import Account, AccountMeta, Address, EMPTY_META
+from repro.state.backend import CODE_PAGE_SIZE, DictBackend
+from repro.trie import MerklePatriciaTrie, verify_proof
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProvenAccount:
+    """An account record authenticated by a Merkle proof."""
+
+    meta: AccountMeta
+    storage_root: bytes
+
+
+class WorldState(DictBackend):
+    """Accounts plus on-demand trie commitment and proofs."""
+
+    def __init__(self, accounts: dict[Address, Account] | None = None) -> None:
+        super().__init__(accounts)
+        self._committed_root: bytes | None = None
+        self._account_trie: MerklePatriciaTrie | None = None
+
+    # -- commitment ----------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._committed_root = None
+        self._account_trie = None
+
+    def ensure(self, address: Address) -> Account:
+        self._invalidate()
+        return super().ensure(address)
+
+    def apply_writes(self, *args, **kwargs) -> None:  # type: ignore[override]
+        self._invalidate()
+        super().apply_writes(*args, **kwargs)
+
+    def commit(self) -> bytes:
+        """Build the account trie and return the state root."""
+        if self._committed_root is not None:
+            return self._committed_root
+        trie = MerklePatriciaTrie()
+        for address, account in self.accounts.items():
+            if account.is_empty:
+                continue
+            trie.put(keccak256(address), account.rlp_encode())
+        self._account_trie = trie
+        self._committed_root = trie.root_hash()
+        return self._committed_root
+
+    # -- proofs (A6 defense surface) ------------------------------------
+
+    def prove_account(self, address: Address) -> list[bytes]:
+        """Merkle proof for the account record under the current root."""
+        self.commit()
+        assert self._account_trie is not None
+        return self._account_trie.prove(keccak256(address))
+
+    def prove_storage(self, address: Address, key: int) -> list[bytes]:
+        """Merkle proof for one storage slot under the account's root."""
+        account = self.accounts.get(address, Account())
+        trie = MerklePatriciaTrie()
+        for slot_key, value in account.storage.items():
+            if value:
+                trie.put(
+                    keccak256(slot_key.to_bytes(32, "big")),
+                    rlp.encode(rlp.encode_uint(value)),
+                )
+        return trie.prove(keccak256(key.to_bytes(32, "big")))
+
+    @staticmethod
+    def verify_account_proof(
+        state_root: bytes, address: Address, proof: list[bytes]
+    ) -> "ProvenAccount | None":
+        """Verify an account proof; returns the proven record or None.
+
+        Raises :class:`repro.trie.ProofError` on forgery, the check that
+        blocks attack A6 during block synchronization.
+        """
+        encoded = verify_proof(state_root, keccak256(address), proof)
+        if encoded is None:
+            return None
+        nonce_b, balance_b, storage_root, code_hash = rlp.decode(encoded)  # type: ignore[misc]
+        meta = AccountMeta(
+            balance=rlp.decode_uint(bytes(balance_b)),
+            nonce=rlp.decode_uint(bytes(nonce_b)),
+            code_hash=bytes(code_hash),
+            code_size=-1,  # not part of the on-chain record
+        )
+        return ProvenAccount(meta, bytes(storage_root))
+
+    @staticmethod
+    def verify_storage_proof(
+        storage_root: bytes, key: int, proof: list[bytes]
+    ) -> int:
+        """Verify a storage proof; returns the proven value (0 if absent)."""
+        encoded = verify_proof(
+            storage_root, keccak256(key.to_bytes(32, "big")), proof
+        )
+        if encoded is None:
+            return 0
+        decoded = rlp.decode(encoded)
+        return rlp.decode_uint(bytes(decoded))  # type: ignore[arg-type]
+
+    def storage_root_of(self, address: Address) -> bytes:
+        account = self.accounts.get(address, Account())
+        return account.storage_root()
+
+    def copy(self) -> "WorldState":
+        return WorldState(
+            {address: account.copy() for address, account in self.accounts.items()}
+        )

@@ -1,0 +1,394 @@
+"""Merkle Patricia Trie with Merkle-proof generation and verification.
+
+This is the structure that authenticates the Ethereum world state: the
+account trie maps ``keccak256(address)`` to RLP-encoded account records,
+and each contract's storage trie maps ``keccak256(key)`` to RLP-encoded
+values.  HarDTAPE's Hypervisor verifies Merkle proofs against block state
+roots during block synchronization (paper §IV-C) — after that, ORAM
+AES-GCM protects integrity and proofs are no longer fetched.
+
+Node model (per the yellow paper):
+
+* **leaf** — ``[hp(path, leaf=True), value]``
+* **extension** — ``[hp(path, leaf=False), ref]``
+* **branch** — 17 items: 16 child refs plus a value slot
+
+A *ref* is the node itself when its RLP is shorter than 32 bytes,
+otherwise the Keccak-256 hash of its RLP.  Hashed nodes live in a
+node store so proofs (the list of RLP nodes on the lookup path) can be
+served for any committed root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro import rlp
+from repro.crypto.keccak import keccak256
+from repro.trie.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hp_decode,
+    hp_encode,
+)
+
+# The hash of the empty trie: keccak256(rlp(b"")).
+EMPTY_ROOT = keccak256(rlp.encode(b""))
+
+_BLANK = b""
+Node = bytes | list  # _BLANK, [path, value/ref], or 17-item branch
+
+
+class ProofError(Exception):
+    """Raised when a Merkle proof fails verification."""
+
+
+class MerklePatriciaTrie:
+    """An in-memory MPT over raw byte keys.
+
+    Keys are arbitrary byte strings (callers hash them when emulating the
+    secure trie).  ``root_hash`` commits the current tree into the node
+    store and returns the 32-byte root.
+    """
+
+    def __init__(self) -> None:
+        self._root: Node = _BLANK
+        self._store: dict[bytes, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for ``key``, or ``None`` if absent."""
+        return self._get(self._root, bytes_to_nibbles(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``.  Empty values delete the key."""
+        if value == b"":
+            self.delete(key)
+            return
+        self._root = self._put(self._root, bytes_to_nibbles(key), value)
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` if present."""
+        self._root = self._delete(self._root, bytes_to_nibbles(key))
+
+    def root_hash(self) -> bytes:
+        """Commit the tree and return its Merkle root."""
+        if self._root == _BLANK:
+            return EMPTY_ROOT
+        encoded = self._encode_node(self._root)
+        if len(encoded) < 32:
+            return keccak256(encoded)
+        return encoded  # already a 32-byte hash from _encode_node
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in lexicographic key order."""
+        yield from self._iter_node(self._root, ())
+
+    def prove(self, key: bytes) -> list[bytes]:
+        """Return the Merkle proof for ``key`` under the current root.
+
+        The proof is the list of RLP-encoded nodes on the lookup path,
+        root first.  Works for both membership and non-membership.
+        """
+        self.root_hash()  # ensure the store holds the committed nodes
+        proof: list[bytes] = []
+        self._prove(self._root, bytes_to_nibbles(key), proof)
+        return proof
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _get(self, node: Node, path: tuple[int, ...]) -> bytes | None:
+        if node == _BLANK:
+            return None
+        if len(node) == 17:  # branch
+            if not path:
+                value = node[16]
+                return bytes(value) if value != _BLANK else None
+            return self._get(self._resolve(node[path[0]]), path[1:])
+        node_path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            return bytes(node[1]) if node_path == path else None
+        prefix = common_prefix_length(node_path, path)
+        if prefix != len(node_path):
+            return None
+        return self._get(self._resolve(node[1]), path[prefix:])
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def _put(self, node: Node, path: tuple[int, ...], value: bytes) -> Node:
+        if node == _BLANK:
+            return [hp_encode(path, True), value]
+        if len(node) == 17:  # branch
+            if not path:
+                return node[:16] + [value]
+            child = self._resolve(node[path[0]])
+            new_node = list(node)
+            new_node[path[0]] = self._put(child, path[1:], value)
+            return new_node
+        node_path, is_leaf = hp_decode(node[0])
+        prefix = common_prefix_length(node_path, path)
+        if is_leaf and node_path == path:
+            return [node[0], value]
+        if not is_leaf and prefix == len(node_path):
+            child = self._put(self._resolve(node[1]), path[prefix:], value)
+            return [node[0], child]
+        # Split: build a branch at the divergence point.
+        branch: list = [_BLANK] * 17
+        remaining_old = node_path[prefix:]
+        if remaining_old:
+            stub = (
+                [hp_encode(remaining_old[1:], True), node[1]]
+                if is_leaf
+                else self._shorten_extension(remaining_old[1:], node[1])
+            )
+            branch[remaining_old[0]] = stub
+        else:
+            if is_leaf:
+                branch[16] = node[1]
+            else:
+                # Extension fully consumed: its child takes the slot...
+                # but an extension always has a non-empty path, so the
+                # divergence at prefix == len(node_path) was handled above.
+                raise AssertionError("unreachable: empty extension remainder")
+        remaining_new = path[prefix:]
+        if remaining_new:
+            branch[remaining_new[0]] = [hp_encode(remaining_new[1:], True), value]
+        else:
+            branch[16] = value
+        if prefix:
+            return [hp_encode(path[:prefix], False), branch]
+        return branch
+
+    def _shorten_extension(self, path: tuple[int, ...], ref: Node) -> Node:
+        """Re-root an extension whose path lost its first nibble."""
+        if path:
+            return [hp_encode(path, False), ref]
+        return self._resolve(ref)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def _delete(self, node: Node, path: tuple[int, ...]) -> Node:
+        if node == _BLANK:
+            return _BLANK
+        if len(node) == 17:
+            if not path:
+                new_node = node[:16] + [_BLANK]
+            else:
+                child = self._delete(self._resolve(node[path[0]]), path[1:])
+                new_node = list(node)
+                new_node[path[0]] = child
+            return self._normalize_branch(new_node)
+        node_path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            return _BLANK if node_path == path else node
+        prefix = common_prefix_length(node_path, path)
+        if prefix != len(node_path):
+            return node
+        child = self._delete(self._resolve(node[1]), path[prefix:])
+        if child == _BLANK:
+            return _BLANK
+        return self._merge_extension(node_path, child)
+
+    def _normalize_branch(self, branch: list) -> Node:
+        """Collapse branches left with zero or one occupied slot."""
+        occupied = [i for i in range(16) if branch[i] != _BLANK]
+        has_value = branch[16] != _BLANK
+        if len(occupied) + (1 if has_value else 0) > 1:
+            return branch
+        if has_value and not occupied:
+            return [hp_encode((), True), branch[16]]
+        if not occupied:
+            return _BLANK
+        index = occupied[0]
+        child = self._resolve(branch[index])
+        return self._merge_extension((index,), child)
+
+    def _merge_extension(self, path: tuple[int, ...], child: Node) -> Node:
+        """Prepend ``path`` to ``child``, merging leaf/extension paths."""
+        child = self._resolve(child)
+        if child != _BLANK and len(child) == 2:
+            child_path, child_is_leaf = hp_decode(child[0])
+            return [hp_encode(path + child_path, child_is_leaf), child[1]]
+        if not path:
+            return child
+        return [hp_encode(path, False), child]
+
+    # ------------------------------------------------------------------
+    # Hashing / store
+    # ------------------------------------------------------------------
+
+    def _resolve(self, ref: Node) -> Node:
+        """Dereference a 32-byte hash ref through the node store."""
+        if isinstance(ref, (bytes, bytearray)) and len(ref) == 32 and ref != _BLANK:
+            encoded = self._store.get(bytes(ref))
+            if encoded is None:
+                raise KeyError(f"missing trie node {bytes(ref).hex()}")
+            return self._decode_node(rlp.decode(encoded))
+        return ref
+
+    @staticmethod
+    def _decode_node(item: rlp.codec.RlpItem) -> Node:
+        if isinstance(item, (bytes, bytearray)):
+            return bytes(item)
+        return list(item)
+
+    def _encode_node(self, node: Node) -> bytes:
+        """Return the ref for ``node``: inline RLP if short, else hash."""
+        encoded = rlp.encode(self._node_to_rlp(node))
+        if len(encoded) < 32:
+            return encoded
+        digest = keccak256(encoded)
+        self._store[digest] = encoded
+        return digest
+
+    def _node_to_rlp(self, node: Node) -> rlp.codec.RlpItem:
+        if node == _BLANK:
+            return b""
+        if len(node) == 17:
+            return [self._ref_to_rlp(node[i]) for i in range(16)] + [node[16]]
+        path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            return [node[0], node[1]]
+        return [node[0], self._ref_to_rlp(node[1])]
+
+    def _ref_to_rlp(self, ref: Node) -> rlp.codec.RlpItem:
+        if isinstance(ref, (bytes, bytearray)):
+            return bytes(ref)
+        encoded = self._encode_node(ref)
+        if len(encoded) < 32:
+            return rlp.decode(encoded)  # embed the node structurally
+        return encoded
+
+    def _iter_node(
+        self, node: Node, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[bytes, bytes]]:
+        if node == _BLANK:
+            return
+        node = self._resolve(node)
+        if len(node) == 17:
+            if node[16] != _BLANK:
+                yield self._nibbles_to_key(prefix), bytes(node[16])
+            for i in range(16):
+                if node[i] != _BLANK:
+                    yield from self._iter_node(node[i], prefix + (i,))
+            return
+        path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            yield self._nibbles_to_key(prefix + path), bytes(node[1])
+        else:
+            yield from self._iter_node(node[1], prefix + path)
+
+    @staticmethod
+    def _nibbles_to_key(nibbles: tuple[int, ...]) -> bytes:
+        from repro.trie.nibbles import nibbles_to_bytes
+
+        return nibbles_to_bytes(nibbles)
+
+    # ------------------------------------------------------------------
+    # Proofs
+    # ------------------------------------------------------------------
+
+    def _prove(self, node: Node, path: tuple[int, ...], proof: list[bytes]) -> None:
+        if node == _BLANK:
+            return
+        node = self._resolve(node)
+        proof.append(rlp.encode(self._node_to_rlp(node)))
+        if len(node) == 17:
+            if path:
+                child = node[path[0]]
+                if child != _BLANK:
+                    # Only descend into hashed children; embedded short
+                    # nodes are already part of this proof element.
+                    if isinstance(child, (bytes, bytearray)) and len(child) == 32:
+                        self._prove(child, path[1:], proof)
+                    elif not isinstance(child, (bytes, bytearray)):
+                        encoded = rlp.encode(self._node_to_rlp(child))
+                        if len(encoded) >= 32:
+                            self._prove(child, path[1:], proof)
+            return
+        node_path, is_leaf = hp_decode(node[0])
+        if is_leaf:
+            return
+        prefix = common_prefix_length(node_path, path)
+        if prefix == len(node_path):
+            child = node[1]
+            if isinstance(child, (bytes, bytearray)) and len(child) == 32:
+                self._prove(child, path[prefix:], proof)
+            elif not isinstance(child, (bytes, bytearray)):
+                encoded = rlp.encode(self._node_to_rlp(child))
+                if len(encoded) >= 32:
+                    self._prove(child, path[prefix:], proof)
+
+
+def verify_proof(root: bytes, key: bytes, proof: list[bytes]) -> bytes | None:
+    """Verify a Merkle proof against ``root`` and return the proven value.
+
+    Returns ``None`` for a valid *non-membership* proof.  Raises
+    :class:`ProofError` if the proof does not authenticate under ``root``
+    (the check the Hypervisor runs on Node responses, defeating A6).
+    """
+    if root == EMPTY_ROOT and not proof:
+        return None
+    store = {keccak256(encoded): encoded for encoded in proof}
+    path = bytes_to_nibbles(key)
+    expected: rlp.codec.RlpItem = root
+
+    while True:
+        if isinstance(expected, (bytes, bytearray)):
+            if expected == b"":
+                return None
+            if len(expected) != 32:
+                raise ProofError("malformed node reference")
+            encoded = store.get(bytes(expected))
+            if encoded is None:
+                # A proof may legitimately end early for non-membership
+                # only when the divergence was shown by a previous node;
+                # a dangling hashed ref on the lookup path is invalid.
+                raise ProofError("proof is missing a node on the path")
+            node = rlp.decode(encoded)
+        else:
+            node = expected
+        if not isinstance(node, list):
+            raise ProofError("trie node must be a list")
+        if len(node) == 17:
+            if not path:
+                value = node[16]
+                if not isinstance(value, (bytes, bytearray)):
+                    raise ProofError("branch value must be bytes")
+                return bytes(value) if value != b"" else None
+            child = node[path[0]]
+            if child == b"":
+                return None
+            path = path[1:]
+            expected = child
+            continue
+        if len(node) != 2:
+            raise ProofError("trie node must have 2 or 17 items")
+        first = node[0]
+        if not isinstance(first, (bytes, bytearray)):
+            raise ProofError("node path must be bytes")
+        try:
+            node_path, is_leaf = hp_decode(bytes(first))
+        except ValueError as exc:
+            raise ProofError(str(exc)) from exc
+        if is_leaf:
+            if node_path == path:
+                value = node[1]
+                if not isinstance(value, (bytes, bytearray)):
+                    raise ProofError("leaf value must be bytes")
+                return bytes(value)
+            return None
+        prefix = common_prefix_length(node_path, path)
+        if prefix != len(node_path):
+            return None
+        path = path[prefix:]
+        expected = node[1]

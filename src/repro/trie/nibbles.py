@@ -1,0 +1,55 @@
+"""Nibble paths and hex-prefix (HP) encoding for the Merkle Patricia Trie."""
+
+from __future__ import annotations
+
+
+def bytes_to_nibbles(data: bytes) -> tuple[int, ...]:
+    """Split each byte into its high and low 4-bit nibbles."""
+    out = []
+    for byte in data:
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return tuple(out)
+
+
+def nibbles_to_bytes(nibbles: tuple[int, ...]) -> bytes:
+    """Inverse of :func:`bytes_to_nibbles`; requires even length."""
+    if len(nibbles) % 2:
+        raise ValueError("odd nibble count")
+    return bytes(
+        (nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2)
+    )
+
+
+def hp_encode(nibbles: tuple[int, ...], is_leaf: bool) -> bytes:
+    """Hex-prefix encode a nibble path with the leaf/extension flag."""
+    flag = 2 if is_leaf else 0
+    if len(nibbles) % 2:  # odd: flag+1 in high nibble of first byte
+        prefixed = (flag + 1,) + nibbles
+    else:
+        prefixed = (flag, 0) + nibbles
+    return nibbles_to_bytes(prefixed)
+
+
+def hp_decode(data: bytes) -> tuple[tuple[int, ...], bool]:
+    """Decode hex-prefix bytes to ``(nibbles, is_leaf)``."""
+    if not data:
+        raise ValueError("empty hex-prefix encoding")
+    nibbles = bytes_to_nibbles(data)
+    flag = nibbles[0]
+    is_leaf = flag >= 2
+    if flag % 2:  # odd length
+        return nibbles[1:], is_leaf
+    if nibbles[1] != 0:
+        raise ValueError("invalid hex-prefix padding nibble")
+    return nibbles[2:], is_leaf
+
+
+def common_prefix_length(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """Length of the shared prefix of two nibble paths."""
+    count = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        count += 1
+    return count

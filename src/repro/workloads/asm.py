@@ -1,0 +1,164 @@
+"""A small EVM assembler for building workload contracts.
+
+Programs are sequences of mnemonics, integer immediates, and labels.
+The assembler resolves label references in two passes, sizing each
+``push_label`` to a fixed 2-byte PUSH2 so offsets stay stable.
+
+Example::
+
+    code = assemble([
+        "PUSH1", 0x2A,
+        "PUSH0",
+        "SSTORE",
+        label("loop"),
+        "JUMPDEST",
+        push_label("loop"),
+        "JUMP",
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm import opcodes
+
+_NAME_TO_OPCODE = {entry.name: value for value, entry in opcodes.ALL_OPCODES.items()}
+
+
+@dataclass(frozen=True)
+class Label:
+    """Marks a position in the program (assembles to nothing)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PushLabel:
+    """Assembles to ``PUSH2 <offset of label>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Raw:
+    """Verbatim bytes (e.g. embedded data or pre-assembled fragments)."""
+
+    data: bytes
+
+
+def label(name: str) -> Label:
+    return Label(name)
+
+
+def push_label(name: str) -> PushLabel:
+    return PushLabel(name)
+
+
+def raw(data: bytes) -> Raw:
+    return Raw(data)
+
+
+def push(value: int) -> list:
+    """Emit the smallest PUSH for ``value`` (PUSH0 for zero)."""
+    if value == 0:
+        return ["PUSH0"]
+    size = (value.bit_length() + 7) // 8
+    return [f"PUSH{size}", value]
+
+
+Item = str | int | Label | PushLabel | Raw
+
+
+def assemble(program: list[Item]) -> bytes:
+    """Two-pass assembly of ``program`` into EVM bytecode."""
+    # Pass 1: compute offsets.
+    offsets: dict[str, int] = {}
+    position = 0
+    pending_push: int | None = None
+    for item in program:
+        if isinstance(item, Label):
+            if item.name in offsets:
+                raise ValueError(f"duplicate label {item.name!r}")
+            offsets[item.name] = position
+            continue
+        if isinstance(item, PushLabel):
+            position += 3  # PUSH2 + 2 bytes
+            continue
+        if isinstance(item, Raw):
+            position += len(item.data)
+            continue
+        if isinstance(item, str):
+            opcode = _NAME_TO_OPCODE.get(item)
+            if opcode is None:
+                raise ValueError(f"unknown mnemonic {item!r}")
+            position += 1
+            pending_push = opcodes.push_size(opcode) or None
+            if pending_push:
+                position += pending_push
+            continue
+        if isinstance(item, int):
+            if pending_push is None:
+                raise ValueError(f"integer {item} not preceded by a PUSH mnemonic")
+            pending_push = None
+            continue
+        raise TypeError(f"cannot assemble {item!r}")
+
+    # Pass 2: emit bytes.
+    out = bytearray()
+    iterator = iter(program)
+    for item in iterator:
+        if isinstance(item, Label):
+            continue
+        if isinstance(item, PushLabel):
+            target = offsets.get(item.name)
+            if target is None:
+                raise ValueError(f"undefined label {item.name!r}")
+            out.append(0x61)  # PUSH2
+            out.extend(target.to_bytes(2, "big"))
+            continue
+        if isinstance(item, Raw):
+            out.extend(item.data)
+            continue
+        if isinstance(item, str):
+            opcode = _NAME_TO_OPCODE[item]
+            out.append(opcode)
+            size = opcodes.push_size(opcode)
+            if size:
+                immediate = next(iterator)
+                if not isinstance(immediate, int):
+                    raise ValueError(f"{item} requires an integer immediate")
+                out.extend((immediate % (1 << (8 * size))).to_bytes(size, "big"))
+            continue
+        raise TypeError(f"cannot assemble {item!r}")
+    return bytes(out)
+
+
+def deployer(runtime_code: bytes) -> bytes:
+    """Wrap runtime code in standard init code that returns it.
+
+    The init header CODECOPYs the runtime (which sits right after the
+    header) to memory and RETURNs it.  The header's own length depends
+    on how wide ``push(header_size)`` is, so the size is found by fixed
+    point: re-assemble until the assumed size matches the actual one
+    (converges in at most two rounds, since PUSH widths only grow).
+    """
+    length = len(runtime_code)
+
+    def header_for(assumed_size: int) -> bytes:
+        return assemble(
+            push(length)
+            + ["DUP1"]
+            + push(assumed_size)   # copy source: offset of the runtime
+            + push(0)
+            + ["CODECOPY"]
+            + push(0)
+            + ["RETURN"]
+        )
+
+    header_size = len(header_for(0))
+    header = header_for(header_size)
+    while len(header) != header_size:
+        header_size = len(header)
+        header = header_for(header_size)
+    return header + runtime_code

@@ -1,0 +1,113 @@
+"""A constant-product AMM (Uniswap-V2 style) over two ERC-20 tokens.
+
+The DEX is the canonical frontrunning-sensitive contract: a user
+pre-executing a swap leaks which pool and what size they intend to
+trade — exactly the MEV scenario the paper's introduction motivates.
+Swaps produce call trees of depth 3 (user → DEX → tokenA, tokenB),
+feeding Table I's depth distribution.
+
+Storage: slot 0 = reserve A, slot 1 = reserve B.  Token addresses are
+baked into the bytecode as immediates (like Solidity ``immutable``).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asm import Item, assemble, label, push, push_label
+from repro.workloads.contracts.erc20 import SEL_TRANSFER, SEL_TRANSFER_FROM
+
+SEL_SWAP_A_FOR_B = 0x11111111
+SEL_SWAP_B_FOR_A = 0x22222222
+SEL_RESERVES = 0x33333333
+
+RESERVE_A_SLOT = 0
+RESERVE_B_SLOT = 1
+
+
+def _store_selector(selector: int) -> list[Item]:
+    """mem[0..4) = selector (as the high bytes of word 0)."""
+    return ["PUSH4", selector] + push(224) + ["SHL", "PUSH0", "MSTORE"]
+
+
+def _call_token(token: Item | bytes, args_length: int) -> list[Item]:
+    """CALL the token with calldata mem[0..args_length); revert on failure."""
+    token_int = int.from_bytes(token, "big") if isinstance(token, bytes) else token
+    return (
+        ["PUSH0", "PUSH0"]                   # retLen, retOff
+        + push(args_length) + ["PUSH0"]      # argsLen, argsOff
+        + ["PUSH0"]                          # value
+        + ["PUSH20", token_int, "GAS", "CALL"]
+        + ["ISZERO", push_label("revert"), "JUMPI"]
+    )
+
+
+def _swap_body(
+    token_in: bytes, token_out: bytes, reserve_in: int, reserve_out: int
+) -> list[Item]:
+    """One direction of the constant-product swap."""
+    program: list[Item] = []
+    # 1) tokenIn.transferFrom(caller, this, amtIn)
+    program += _store_selector(SEL_TRANSFER_FROM)
+    program += ["CALLER"] + push(4) + ["MSTORE"]
+    program += ["ADDRESS"] + push(36) + ["MSTORE"]
+    program += push(4) + ["CALLDATALOAD"] + push(68) + ["MSTORE"]
+    program += _call_token(token_in, 100)
+    # 2) amtOut = rOut - (rIn * rOut) / (rIn + amtIn)
+    program += push(reserve_in) + ["SLOAD"]            # [rIn]
+    program += push(reserve_out) + ["SLOAD"]           # [rIn, rOut]
+    program += ["DUP2", "DUP2", "MUL"]                 # [rIn, rOut, k]
+    program += push(4) + ["CALLDATALOAD", "DUP4", "ADD"]  # [rIn,rOut,k,rIn+in]
+    program += ["SWAP1", "DIV"]                        # [rIn, rOut, k/(rIn+in)]
+    program += ["DUP2", "SUB"]                         # [rIn, rOut, amtOut]
+    # 3) update reserves
+    program += ["SWAP2"]                               # [out, rOut, rIn]
+    program += push(4) + ["CALLDATALOAD", "ADD"]       # rIn + amtIn
+    program += push(reserve_in) + ["SSTORE"]           # [out, rOut]
+    program += ["DUP2", "SWAP1", "SUB"]                # rOut - out
+    program += push(reserve_out) + ["SSTORE"]          # [out]
+    # 4) tokenOut.transfer(caller, amtOut)
+    program += _store_selector(SEL_TRANSFER)
+    program += ["CALLER"] + push(4) + ["MSTORE"]
+    program += ["DUP1"] + push(36) + ["MSTORE"]
+    program += _call_token(token_out, 68)
+    # 5) return amtOut
+    program += ["PUSH0", "MSTORE"] + push(32) + ["PUSH0", "RETURN"]
+    return program
+
+
+def dex_runtime(token_a: bytes, token_b: bytes) -> bytes:
+    """Assemble the pool's runtime bytecode for the given token pair."""
+    program: list[Item] = []
+    program += ["PUSH0", "CALLDATALOAD"] + push(224) + ["SHR"]
+    program += ["DUP1", "PUSH4", SEL_SWAP_A_FOR_B, "EQ", push_label("swap_ab"), "JUMPI"]
+    program += ["DUP1", "PUSH4", SEL_SWAP_B_FOR_A, "EQ", push_label("swap_ba"), "JUMPI"]
+    program += ["DUP1", "PUSH4", SEL_RESERVES, "EQ", push_label("reserves"), "JUMPI"]
+    program += ["PUSH0", "PUSH0", "REVERT"]
+
+    program += [label("swap_ab"), "JUMPDEST", "POP"]
+    program += _swap_body(token_a, token_b, RESERVE_A_SLOT, RESERVE_B_SLOT)
+
+    program += [label("swap_ba"), "JUMPDEST", "POP"]
+    program += _swap_body(token_b, token_a, RESERVE_B_SLOT, RESERVE_A_SLOT)
+
+    program += [label("reserves"), "JUMPDEST", "POP"]
+    program += push(RESERVE_A_SLOT) + ["SLOAD", "PUSH0", "MSTORE"]
+    program += push(RESERVE_B_SLOT) + ["SLOAD"] + push(32) + ["MSTORE"]
+    program += push(64) + ["PUSH0", "RETURN"]
+
+    program += [label("revert"), "JUMPDEST", "PUSH0", "PUSH0", "REVERT"]
+    return assemble(program)
+
+
+def swap_calldata(amount_in: int, a_for_b: bool = True) -> bytes:
+    selector = SEL_SWAP_A_FOR_B if a_for_b else SEL_SWAP_B_FOR_A
+    return selector.to_bytes(4, "big") + amount_in.to_bytes(32, "big")
+
+
+def reserves_calldata() -> bytes:
+    return SEL_RESERVES.to_bytes(4, "big")
+
+
+def expected_output(amount_in: int, reserve_in: int, reserve_out: int) -> int:
+    """The constant-product output the contract computes (no fee)."""
+    k = reserve_in * reserve_out
+    return reserve_out - k // (reserve_in + amount_in)

@@ -1,0 +1,58 @@
+"""A honeypot contract — the scam class pre-execution exists to catch.
+
+The contract advertises ``deposit()``/``withdraw()``: anyone can deposit
+ether and apparently withdraw it.  The trap: ``withdraw`` silently
+requires the caller to equal a hidden owner stored in slot 1, so
+victims' deposits are stuck.  Simulating a deposit-then-withdraw bundle
+on HarDTAPE reveals the revert *before* any funds move on-chain — the
+paper's motivating use case (§I: Phishing/Ponzi/Honeypot protection).
+
+Storage: mapping at slot 0 = per-depositor balances; slot 1 = owner.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asm import Item, assemble, label, push, push_label
+from repro.workloads.contracts.erc20 import _map_slot
+
+SEL_DEPOSIT = 0xD0E30DB0   # deposit()
+SEL_WITHDRAW = 0x3CCFD60B  # withdraw()
+
+OWNER_SLOT = 1
+
+
+def honeypot_runtime() -> bytes:
+    program: list[Item] = []
+    program += ["PUSH0", "CALLDATALOAD"] + push(224) + ["SHR"]
+    program += ["DUP1", "PUSH4", SEL_DEPOSIT, "EQ", push_label("deposit"), "JUMPI"]
+    program += ["DUP1", "PUSH4", SEL_WITHDRAW, "EQ", push_label("withdraw"), "JUMPI"]
+    program += ["PUSH0", "PUSH0", "REVERT"]
+
+    # -- deposit(): balances[caller] += msg.value ---------------------------
+    program += [label("deposit"), "JUMPDEST", "POP"]
+    program += ["CALLVALUE", "CALLER"] + _map_slot(0)   # [value, slot]
+    program += ["DUP1", "SLOAD", "DUP3", "ADD", "SWAP1", "SSTORE", "POP"]
+    program += push(1) + ["PUSH0", "MSTORE"] + push(32) + ["PUSH0", "RETURN"]
+
+    # -- withdraw(): the hidden owner check is the trap ----------------------
+    program += [label("withdraw"), "JUMPDEST", "POP"]
+    program += ["CALLER"] + push(OWNER_SLOT) + ["SLOAD", "EQ"]
+    program += ["ISZERO", push_label("revert"), "JUMPI"]
+    program += ["CALLER"] + _map_slot(0)                # [slot]
+    program += ["DUP1", "SLOAD"]                        # [slot, bal]
+    program += ["PUSH0", "DUP3", "SSTORE"]              # zero the slot
+    program += ["SWAP1", "POP"]                         # [bal]
+    program += ["PUSH0", "PUSH0", "PUSH0", "PUSH0"]     # retLen retOff argsLen argsOff
+    program += ["DUP5", "CALLER", "GAS", "CALL", "POP", "POP"]
+    program += push(1) + ["PUSH0", "MSTORE"] + push(32) + ["PUSH0", "RETURN"]
+
+    program += [label("revert"), "JUMPDEST", "PUSH0", "PUSH0", "REVERT"]
+    return assemble(program)
+
+
+def deposit_calldata() -> bytes:
+    return SEL_DEPOSIT.to_bytes(4, "big")
+
+
+def withdraw_calldata() -> bytes:
+    return SEL_WITHDRAW.to_bytes(4, "big")

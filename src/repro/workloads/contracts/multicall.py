@@ -1,0 +1,64 @@
+"""A multicall batch executor (Multicall3-style).
+
+Aggregates many independent calls into one transaction — the other
+common call-tree shape besides the profile contract's chains: a *wide*
+tree (one frame fanning out to N sibling frames) instead of a deep one.
+Used by the evaluation workloads to exercise sibling-frame call-stack
+management and by tests as a fan-out fixture.
+
+Calldata layout (32-byte words)::
+
+    word 0 : n — number of calls
+    then per call:
+      target  (32 B)
+      datalen (32 B)
+      data    (datalen bytes, zero-padded to a word boundary)
+
+Returns ``n`` so callers can confirm the loop ran.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asm import Item, assemble, label, push, push_label
+
+
+def multicall_runtime() -> bytes:
+    program: list[Item] = []
+    program += ["PUSH0", "CALLDATALOAD"]          # [n]
+    program += push(32)                           # [n, off]
+    program += ["PUSH0"]                          # [n, off, i]
+    program += [label("loop"), "JUMPDEST"]
+    program += ["DUP3", "DUP2", "LT", "ISZERO", push_label("end"), "JUMPI"]
+    # target and datalen of the current record.
+    program += ["DUP2", "CALLDATALOAD"]           # [n, off, i, target]
+    program += ["DUP3"] + push(32) + ["ADD", "CALLDATALOAD"]  # [.., len]
+    # Stage the call data at memory offset 0.
+    program += ["DUP1", "DUP5"] + push(64) + ["ADD", "PUSH0", "CALLDATACOPY"]
+    # CALL(gas, target, 0, 0, len, 0, 0)
+    program += ["PUSH0", "PUSH0"]                 # retLen, retOff
+    program += ["DUP3"]                           # argsLen = len
+    program += ["PUSH0", "PUSH0"]                 # argsOff, value
+    program += ["DUP7", "GAS", "CALL", "POP"]     # [n, off, i, target, len]
+    # off += 64 + ceil32(len)
+    program += push(31) + ["ADD"] + push(5) + ["SHR"] + push(5) + ["SHL"]
+    program += push(64) + ["ADD"]                 # [n, off, i, target, rec]
+    program += ["SWAP1", "POP"]                   # [n, off, i, rec]
+    program += ["DUP3", "ADD"]                    # [n, off, i, off']
+    program += ["SWAP2", "POP"]                   # [n, off', i]
+    program += push(1) + ["ADD"]                  # i += 1
+    program += [push_label("loop"), "JUMP"]
+    program += [label("end"), "JUMPDEST", "POP", "POP", "POP"]
+    program += ["PUSH0", "CALLDATALOAD", "PUSH0", "MSTORE"]
+    program += push(32) + ["PUSH0", "RETURN"]
+    return assemble(program)
+
+
+def multicall_calldata(calls: list[tuple[bytes, bytes]]) -> bytes:
+    """Encode a batch of ``(target_address, calldata)`` pairs."""
+    words = [len(calls).to_bytes(32, "big")]
+    for target, data in calls:
+        words.append(target.rjust(32, b"\x00"))
+        words.append(len(data).to_bytes(32, "big"))
+        padded_length = (len(data) + 31) // 32 * 32
+        words.append(data.ljust(padded_length, b"\x00"))
+    return b"".join(words)

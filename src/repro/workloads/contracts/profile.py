@@ -1,0 +1,86 @@
+"""The synthetic workload contract ("SWC") behind the evaluation set.
+
+One bytecode template reproduces, per execution frame, the knobs Table I
+measures: storage records touched, call depth, input size, and (via
+padding) code size.  Calldata layout, in 32-byte words::
+
+    word 0 : n_slots   — storage records to read-modify-write
+    word 1 : slot_base — first storage key (consecutive keys, matching
+                         Solidity's layout and the ORAM's 32-record
+                         grouping)
+    word 2 : n_addrs   — remaining call-chain length
+    word 3…: addresses — the chain of contracts still to call
+
+Each frame loads/increments/stores ``n_slots`` consecutive records,
+then (if the chain is non-empty) builds the child calldata in memory
+and CALLs the next address.  Returns 32 bytes so callers can check
+success.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asm import Item, assemble, label, push, push_label
+
+
+def profile_runtime(pad_to_bytes: int | None = None) -> bytes:
+    """Assemble the SWC runtime, optionally padded to a target size."""
+    program: list[Item] = []
+    # --- storage loop: stack discipline [n, base, i] ---------------------
+    program += ["PUSH0", "CALLDATALOAD"]                   # [n]
+    program += push(32) + ["CALLDATALOAD"]                 # [n, base]
+    program += ["PUSH0"]                                   # [n, base, i=0]
+    program += [label("loop"), "JUMPDEST"]
+    program += ["DUP3", "DUP2", "LT"]                      # i < n
+    program += ["ISZERO", push_label("loop_end"), "JUMPI"]
+    program += ["DUP2", "DUP2", "ADD"]                     # slot = base + i
+    program += ["DUP1", "SLOAD"]                           # [.., slot, value]
+    program += push(1) + ["ADD", "SWAP1", "SSTORE"]        # slot := value + 1
+    program += push(1) + ["ADD"]                           # i += 1
+    program += [push_label("loop"), "JUMP"]
+    program += [label("loop_end"), "JUMPDEST", "POP", "POP", "POP"]
+
+    # --- call chain -------------------------------------------------------
+    program += push(64) + ["CALLDATALOAD"]                 # [n_addrs]
+    program += ["DUP1", "ISZERO", push_label("done"), "JUMPI"]
+    # Child calldata: n_slots, base, n_addrs - 1, addrs[1:].
+    program += ["PUSH0", "CALLDATALOAD", "PUSH0", "MSTORE"]
+    program += push(32) + ["CALLDATALOAD"] + push(32) + ["MSTORE"]
+    program += ["DUP1"] + push(1) + ["SWAP1", "SUB"] + push(64) + ["MSTORE"]
+    # CALLDATACOPY(dest=96, offset=128, len=(n_addrs-1)*32)
+    program += ["DUP1"] + push(1) + ["SWAP1", "SUB"] + push(5) + ["SHL"]
+    program += push(128) + push(96) + ["CALLDATACOPY"]     # [n_addrs]
+    program += push(96) + ["CALLDATALOAD"]                 # [n_addrs, addr]
+    # CALL(gas, addr, 0, 0, 96 + (n_addrs-1)*32, 0, 0)
+    program += ["PUSH0", "PUSH0"]                          # retLen, retOff
+    program += ["DUP4"] + push(1) + ["SWAP1", "SUB"]
+    program += push(5) + ["SHL"] + push(96) + ["ADD"]      # argsLen
+    program += ["PUSH0", "PUSH0"]                          # argsOff, value
+    program += ["DUP6", "GAS", "CALL", "POP"]              # [n_addrs, addr]
+    program += ["POP"]                                     # [n_addrs]
+    program += [label("done"), "JUMPDEST", "POP"]
+    program += push(1) + ["PUSH0", "MSTORE"]
+    program += push(32) + ["PUSH0", "RETURN"]
+
+    code = assemble(program)
+    if pad_to_bytes is not None:
+        if pad_to_bytes < len(code):
+            raise ValueError(
+                f"runtime is {len(code)} bytes; cannot pad down to {pad_to_bytes}"
+            )
+        # STOP padding is unreachable and counts toward code size only.
+        code = code + b"\x00" * (pad_to_bytes - len(code))
+    return code
+
+
+def profile_calldata(
+    n_slots: int, slot_base: int, chain: list[bytes] | None = None
+) -> bytes:
+    """Build SWC calldata for ``n_slots`` records and a call chain."""
+    chain = chain or []
+    words = [
+        n_slots.to_bytes(32, "big"),
+        slot_base.to_bytes(32, "big"),
+        len(chain).to_bytes(32, "big"),
+    ]
+    words += [address.rjust(32, b"\x00") for address in chain]
+    return b"".join(words)

@@ -1,0 +1,44 @@
+"""A roll-up batch-settlement contract.
+
+The paper (§II-A) describes roll-up transactions as submitting
+"thousands of storage record updates with very few other operations",
+and notes (§VI-B) that they can exceed the layer-2 frame limit and
+abort with a Memory Overflow Error — support is left as future work.
+This contract reproduces that shape: calldata carries ``n`` (key,
+value) pairs; the contract copies the full batch into memory (the large
+Memory footprint that trips the frame limit) and writes every record.
+
+Calldata layout: word 0 = n, then pairs ``key_i`` at 32 + 64·i and
+``value_i`` at 64 + 64·i.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.asm import Item, assemble, label, push, push_label
+
+
+def rollup_runtime() -> bytes:
+    program: list[Item] = []
+    program += ["PUSH0", "CALLDATALOAD"]                # [n]
+    # Pull the whole batch into Memory (the overflow-triggering step).
+    program += ["CALLDATASIZE", "PUSH0", "PUSH0", "CALLDATACOPY"]
+    program += ["PUSH0"]                                # [n, i]
+    program += [label("loop"), "JUMPDEST"]
+    program += ["DUP2", "DUP2", "LT", "ISZERO", push_label("end"), "JUMPI"]
+    program += ["DUP1"] + push(6) + ["SHL"]             # [n, i, i*64]
+    program += ["DUP1"] + push(64) + ["ADD", "MLOAD"]   # [n, i, off, value]
+    program += ["SWAP1"] + push(32) + ["ADD", "MLOAD"]  # [n, i, value, key]
+    program += ["SSTORE"]                               # [n, i]
+    program += push(1) + ["ADD", push_label("loop"), "JUMP"]
+    program += [label("end"), "JUMPDEST", "POP", "POP"]
+    program += ["PUSH0", "PUSH0", "RETURN"]
+    return assemble(program)
+
+
+def rollup_calldata(updates: list[tuple[int, int]]) -> bytes:
+    """Encode a batch of (key, value) storage updates."""
+    words = [len(updates).to_bytes(32, "big")]
+    for key, value in updates:
+        words.append(key.to_bytes(32, "big"))
+        words.append(value.to_bytes(32, "big"))
+    return b"".join(words)

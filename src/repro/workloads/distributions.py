@@ -1,0 +1,75 @@
+"""Table I distributions from the paper's evaluation set.
+
+The paper measured blocks #19145194–#19145293 of Ethereum Mainnet and
+reports, per execution frame, the distribution of memory-like sizes and
+storage records, and per transaction the call-depth distribution.  The
+synthetic evaluation set samples from exactly these tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import Drbg
+
+# (upper bound exclusive in bytes/keys/depth, probability)
+CODE_SIZE_BANDS = [
+    ((0, 1_024), 0.095),
+    ((1_024, 4_096), 0.253),
+    ((4_096, 12_288), 0.396),
+    ((12_288, 65_536), 0.256),
+]
+
+INPUT_SIZE_BANDS = [
+    ((0, 1_024), 0.950),
+    ((1_024, 4_096), 0.040),
+    ((4_096, 12_288), 0.002),
+    ((12_288, 65_536), 0.000),
+    ((65_536, 262_144), 0.001),
+]
+
+STORAGE_KEY_BANDS = [
+    ((1, 5), 0.799),
+    ((5, 17), 0.190),
+    ((17, 65), 0.010),
+    ((65, 256), 0.001),
+]
+
+CALL_DEPTH_BANDS = [
+    ((1, 2), 0.408),
+    ((2, 6), 0.526),
+    ((6, 11), 0.063),
+    ((11, 16), 0.003),
+]
+
+
+@dataclass
+class BandSampler:
+    """Samples integers from banded distributions via a DRBG."""
+
+    bands: list[tuple[tuple[int, int], float]]
+    rng: Drbg
+
+    def sample(self) -> int:
+        total = sum(weight for _, weight in self.bands)
+        point = self.rng.randint(10**9) / 10**9 * total
+        acc = 0.0
+        for (low, high), weight in self.bands:
+            acc += weight
+            if point < acc or (low, high) == self.bands[-1][0]:
+                if high - low <= 1:
+                    return low
+                return self.rng.randrange(low, high)
+        raise AssertionError("unreachable")
+
+
+def summarize_bands(
+    values: list[int], bands: list[tuple[tuple[int, int], float]]
+) -> dict[str, float]:
+    """Fraction of ``values`` falling in each band (for Table I output)."""
+    out: dict[str, float] = {}
+    n = max(1, len(values))
+    for (low, high), _ in bands:
+        count = sum(1 for v in values if low <= v < high)
+        out[f"{low}-{high}"] = count / n
+    return out

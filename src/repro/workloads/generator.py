@@ -1,0 +1,253 @@
+"""The synthetic evaluation set.
+
+Stands in for Ethereum Mainnet blocks #19145194–#19145293 (which we
+cannot download offline): a deterministic population of contracts and a
+stream of blocks whose per-frame code sizes, storage-record counts, and
+per-transaction call depths follow Table I.  Transactions are a mix of
+synthetic profile-contract chains (the Table I shape carriers), ERC-20
+activity, and DEX swaps; rollup batches can be included to exercise the
+Memory Overflow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import Drbg
+from repro.node.node import EthereumNode
+from repro.state.account import Account, Address, to_address
+from repro.state.blocks import Transaction
+from repro.workloads.contracts import dex, erc20, honeypot, multicall, rollup
+from repro.workloads.contracts.profile import profile_calldata, profile_runtime
+from repro.workloads.distributions import (
+    BandSampler,
+    CALL_DEPTH_BANDS,
+    CODE_SIZE_BANDS,
+    STORAGE_KEY_BANDS,
+)
+
+_MIN_PROFILE_CODE = 256  # the SWC runtime itself is ~180 bytes
+
+
+@dataclass
+class ContractPopulation:
+    """The deployed contracts the evaluation set's transactions target."""
+
+    profiles: list[Address] = field(default_factory=list)
+    profile_sizes: dict[Address, int] = field(default_factory=dict)
+    profiles_by_band: dict[int, list[Address]] = field(default_factory=dict)
+    token_a: Address = b""
+    token_b: Address = b""
+    pool: Address = b""
+    rollup_contract: Address = b""
+    multicall_contract: Address = b""
+    honeypot_contract: Address = b""
+    honeypot_owner: Address = b""
+    users: list[Address] = field(default_factory=list)
+
+
+@dataclass
+class EvaluationSetConfig:
+    """Size/shape knobs; defaults give a laptop-scale evaluation set."""
+
+    seed: int = 19_145_194
+    profile_contract_count: int = 24
+    user_count: int = 8
+    blocks: int = 10
+    txs_per_block: int = 10
+    profile_fraction: float = 0.65
+    erc20_fraction: float = 0.2
+    multicall_fraction: float = 0.05  # remainder goes to DEX swaps
+    include_rollups: bool = False
+    rollup_updates: int = 600
+
+
+@dataclass
+class EvaluationSet:
+    """A fully built chain plus the pre-executable transaction stream."""
+
+    node: EthereumNode
+    population: ContractPopulation
+    transactions: list[Transaction]
+    config: EvaluationSetConfig
+
+
+def build_genesis(
+    config: EvaluationSetConfig, rng: Drbg
+) -> tuple[dict[Address, Account], ContractPopulation]:
+    """Deploy the contract population directly into genesis state."""
+    accounts: dict[Address, Account] = {}
+    population = ContractPopulation()
+
+    # Stratified deployment: cycle through the Table I code-size bands so
+    # every band has contracts; transactions later pick a band by its
+    # Table I weight, making the *per-frame* size distribution match.
+    for index in range(config.profile_contract_count):
+        band_index = index % len(CODE_SIZE_BANDS)
+        (low, high), _ = CODE_SIZE_BANDS[band_index]
+        size = max(_MIN_PROFILE_CODE, rng.randrange(max(low, _MIN_PROFILE_CODE), high))
+        address = to_address(0x5000_0000 + index)
+        accounts[address] = Account(code=profile_runtime(pad_to_bytes=size))
+        population.profiles.append(address)
+        population.profile_sizes[address] = size
+        population.profiles_by_band.setdefault(band_index, []).append(address)
+
+    population.token_a = to_address(0x6000_0001)
+    population.token_b = to_address(0x6000_0002)
+    population.pool = to_address(0x6000_0003)
+    accounts[population.token_a] = Account(code=erc20.erc20_runtime())
+    accounts[population.token_b] = Account(code=erc20.erc20_runtime())
+    accounts[population.pool] = Account(
+        code=dex.dex_runtime(population.token_a, population.token_b),
+        storage={dex.RESERVE_A_SLOT: 10**9, dex.RESERVE_B_SLOT: 2 * 10**9},
+    )
+
+    population.rollup_contract = to_address(0x6000_0004)
+    accounts[population.rollup_contract] = Account(code=rollup.rollup_runtime())
+
+    population.multicall_contract = to_address(0x6000_0007)
+    accounts[population.multicall_contract] = Account(
+        code=multicall.multicall_runtime()
+    )
+
+    population.honeypot_owner = to_address(0x6000_0006)
+    population.honeypot_contract = to_address(0x6000_0005)
+    accounts[population.honeypot_contract] = Account(
+        code=honeypot.honeypot_runtime(),
+        storage={
+            honeypot.OWNER_SLOT: int.from_bytes(population.honeypot_owner, "big")
+        },
+    )
+    accounts[population.honeypot_owner] = Account(balance=10**20)
+
+    for index in range(config.user_count):
+        user = to_address(0x7000_0000 + index)
+        accounts[user] = Account(balance=10**21)
+        population.users.append(user)
+
+    # Pre-seed token balances so transfers/swaps work from block 1.
+    for token in (population.token_a, population.token_b):
+        balances = accounts[token].storage
+        for user in population.users:
+            balances[erc20.balance_slot(user)] = 10**15
+        balances[erc20.balance_slot(population.pool)] = 10**12
+    return accounts, population
+
+
+def _sample_transaction(
+    population: ContractPopulation,
+    rng: Drbg,
+    depth_sampler: BandSampler,
+    slots_sampler: BandSampler,
+    config: EvaluationSetConfig,
+) -> Transaction:
+    user = population.users[rng.randint(len(population.users))]
+    roll = rng.randint(1000) / 1000.0
+    if roll < config.profile_fraction:
+        depth = depth_sampler.sample()
+        weights = [weight for _, weight in CODE_SIZE_BANDS]
+        total_weight = sum(weights)
+        chain = []
+        for _ in range(depth):
+            point = rng.randint(1000) / 1000.0 * total_weight
+            band_index = 0
+            acc = 0.0
+            for i, weight in enumerate(weights):
+                acc += weight
+                if point < acc:
+                    band_index = i
+                    break
+            candidates = population.profiles_by_band.get(
+                band_index, population.profiles
+            )
+            chain.append(candidates[rng.randint(len(candidates))])
+        n_slots = slots_sampler.sample()
+        slot_base = rng.randint(64) * 32  # align to the ORAM's 32-key groups
+        data = profile_calldata(n_slots, slot_base, chain=chain[1:])
+        return Transaction(sender=user, to=chain[0], data=data)
+    if roll < config.profile_fraction + config.multicall_fraction:
+        # A wide batch: 2-4 sibling calls into random profile contracts.
+        from repro.workloads.contracts.multicall import multicall_calldata
+
+        fan_out = 2 + rng.randint(3)
+        calls = []
+        for _ in range(fan_out):
+            target = population.profiles[rng.randint(len(population.profiles))]
+            calls.append((target, profile_calldata(1 + rng.randint(4),
+                                                   rng.randint(64) * 32)))
+        return Transaction(
+            sender=user,
+            to=population.multicall_contract,
+            data=multicall_calldata(calls),
+        )
+    if roll < (config.profile_fraction + config.multicall_fraction
+               + config.erc20_fraction):
+        token = population.token_a if rng.randint(2) else population.token_b
+        peer = population.users[rng.randint(len(population.users))]
+        amount = 1 + rng.randint(1000)
+        if rng.randint(4) == 0:
+            data = erc20.approve_calldata(population.pool, amount * 10)
+        else:
+            data = erc20.transfer_calldata(peer, amount)
+        return Transaction(sender=user, to=token, data=data)
+    amount_in = 1000 + rng.randint(100_000)
+    return Transaction(
+        sender=user,
+        to=population.pool,
+        data=dex.swap_calldata(amount_in, a_for_b=bool(rng.randint(2))),
+    )
+
+
+def build_evaluation_set(config: EvaluationSetConfig | None = None) -> EvaluationSet:
+    """Build the chain and the pre-execution transaction stream."""
+    config = config or EvaluationSetConfig()
+    rng = Drbg(config.seed.to_bytes(8, "big"), personalization=b"eval-set")
+    accounts, population = build_genesis(config, rng)
+    node = EthereumNode(genesis_accounts=accounts)
+
+    # Swaps pull tokens via transferFrom: pre-approve the pool for all
+    # users in the first block so the stream is uniform afterwards.
+    approvals = []
+    for user in population.users:
+        for token in (population.token_a, population.token_b):
+            approvals.append(
+                Transaction(
+                    sender=user,
+                    to=token,
+                    data=erc20.approve_calldata(population.pool, 10**14),
+                )
+            )
+    node.add_block(approvals)
+
+    depth_sampler = BandSampler(CALL_DEPTH_BANDS, rng.fork(b"depth"))
+    slots_sampler = BandSampler(STORAGE_KEY_BANDS, rng.fork(b"slots"))
+    transactions: list[Transaction] = []
+    for block_index in range(config.blocks):
+        block_txs = []
+        for _ in range(config.txs_per_block):
+            block_txs.append(
+                _sample_transaction(
+                    population, rng, depth_sampler, slots_sampler, config
+                )
+            )
+        if config.include_rollups and block_index % 3 == 0:
+            updates = [
+                (rng.randint(2**32), rng.randint(2**64))
+                for _ in range(config.rollup_updates)
+            ]
+            block_txs.append(
+                Transaction(
+                    sender=population.users[0],
+                    to=population.rollup_contract,
+                    data=rollup.rollup_calldata(updates),
+                    gas_limit=60_000_000,
+                )
+            )
+        node.add_block(block_txs)
+        transactions.extend(block_txs)
+    return EvaluationSet(
+        node=node,
+        population=population,
+        transactions=transactions,
+        config=config,
+    )

@@ -1,0 +1,115 @@
+"""§VI-B: HarDTAPE behaviour is identical to a standard node.
+
+The node re-executes evaluation-set transactions and serves
+debug_traceTransaction-style ground truth; HarDTAPE (full security
+stack, ORAM world state) pre-executes the same transactions against the
+same state version.  Gas, status, return data, and storage effects must
+match exactly.
+"""
+
+import pytest
+
+from repro.core import HarDTAPEService, PreExecutionClient, SecurityFeatures
+from repro.evm.tracer import StructTracer
+from repro.evm.executor import execute_transaction
+from repro.state.journal import JournaledState
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    evalset = request.getfixturevalue("tiny_evalset")
+    service = HarDTAPEService(
+        evalset.node, SecurityFeatures.from_level("full"), charge_fees=False
+    )
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=b"\x03" * 32
+    )
+    session = client.connect(service)
+    return evalset, service, client, session
+
+
+def _ground_truth(evalset, service, tx):
+    """Execute tx on the node's synced state (fees off, like the HEVM)."""
+    state = JournaledState(evalset.node.state_at(service.synced_height).copy())
+    tracer = StructTracer()
+    result = execute_transaction(
+        state,
+        service.pending_chain_context(),
+        tx,
+        tracer=tracer,
+        charge_fees=False,
+    )
+    return result, tracer.logs
+
+
+def test_traces_match_ground_truth(setup):
+    evalset, service, client, session = setup
+    for tx in evalset.transactions[:10]:
+        expected, _ = _ground_truth(evalset, service, tx)
+        report, _, _ = client.pre_execute(service, session, [tx])
+        trace = report.traces[0]
+        assert trace.status == expected.status
+        assert trace.gas_used == expected.gas_used
+        assert trace.return_data == expected.return_data
+        expected_storage = dict(expected.write_set.storage)
+        assert trace.storage_changes == expected_storage
+
+
+def test_struct_traces_match_node_rpc(setup):
+    """Step-by-step PC/op/gas equality against debug_traceTransaction."""
+    evalset, service, client, session = setup
+    node = evalset.node
+    # Compare the node's own replay of an on-chain tx against a direct
+    # re-execution — the RPC must be internally consistent first.
+    block_number = 2
+    executed = node._block(block_number)
+    for index, tx in enumerate(executed.block.transactions[:3]):
+        logs_a, result_a = node.debug_trace_transaction(block_number, index)
+        logs_b, result_b = node.debug_trace_transaction(block_number, index)
+        assert result_a.gas_used == result_b.gas_used
+        assert [l.to_dict() for l in logs_a] == [l.to_dict() for l in logs_b]
+
+
+def test_hevm_struct_trace_equals_node_trace(setup):
+    """The HEVM's opcode stream equals the node's for the same tx."""
+    evalset, service, client, session = setup
+    tx = evalset.transactions[0]
+    _, expected_logs = _ground_truth(evalset, service, tx)
+
+    device = service.devices[0]
+    core = device.cores[0]
+    results, _, _, struct_traces = core.run_bundle(
+        [tx],
+        service.pending_chain_context(),
+        service._synced_state,
+        device.oram_backend,
+        storage_via_oram=True,
+        code_via_oram=True,
+        struct_trace=True,
+        charge_fees=False,
+    )
+    core.reset()
+    assert results[0].success
+    hevm_logs = struct_traces[0]
+    assert len(hevm_logs) == len(expected_logs)
+    for ours, theirs in zip(hevm_logs, expected_logs):
+        assert (ours.pc, ours.op, ours.gas, ours.depth) == (
+            theirs.pc, theirs.op, theirs.gas, theirs.depth
+        )
+        assert ours.stack == theirs.stack
+
+
+def test_gas_identical_across_all_security_levels(setup):
+    evalset, service, client, session = setup
+    tx = evalset.transactions[1]
+    expected, _ = _ground_truth(evalset, service, tx)
+    for level in ("raw", "E", "ES", "ESO", "full"):
+        svc = HarDTAPEService(
+            evalset.node, SecurityFeatures.from_level(level), charge_fees=False
+        )
+        cl = PreExecutionClient(
+            svc.manufacturer.root_public_key, rng_seed=b"\x04" * 32
+        )
+        sess = cl.connect(svc)
+        report, _, _ = cl.pre_execute(svc, sess, [tx])
+        assert report.traces[0].gas_used == expected.gas_used, level

@@ -1,0 +1,113 @@
+"""Device configuration options exercised end-to-end."""
+
+import pytest
+
+from repro.core import (
+    DeviceConfig,
+    HarDTAPEService,
+    PreExecutionClient,
+    SecurityFeatures,
+)
+from repro.state import Transaction
+from repro.workloads.contracts import erc20, rollup
+
+
+@pytest.fixture(scope="module")
+def evalset(request):
+    return request.getfixturevalue("tiny_evalset")
+
+
+def _service(evalset, **config_kwargs):
+    return HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level("full"),
+        device_config=DeviceConfig(oram_height=10, **config_kwargs),
+        charge_fees=False,
+    )
+
+
+def _session(service):
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=b"\x0c" * 32
+    )
+    return client, client.connect(service)
+
+
+def test_recursive_position_map_end_to_end(evalset):
+    service = _service(evalset, recursive_position_map=True)
+    client, session = _session(service)
+    tx = evalset.transactions[0]
+    report, _, _ = client.pre_execute(service, session, [tx])
+    assert report.traces[0].status == 1
+    # The recursion actually ran: inner ORAM accesses happened.
+    oram = service.devices[0].oram_backend
+    assert oram._client._positions.inner_accesses > 0
+
+
+def test_recursive_and_flat_posmaps_agree(evalset):
+    flat = _service(evalset)
+    recursive = _service(evalset, recursive_position_map=True)
+    tx = evalset.transactions[1]
+    reports = []
+    for service in (flat, recursive):
+        client, session = _session(service)
+        report, _, _ = client.pre_execute(service, session, [tx])
+        reports.append(report.traces[0])
+    assert reports[0].gas_used == reports[1].gas_used
+    assert reports[0].return_data == reports[1].return_data
+    assert reports[0].storage_changes == reports[1].storage_changes
+
+
+def test_spill_device_completes_rollups(evalset):
+    service = _service(evalset, oversize_policy="spill")
+    client, session = _session(service)
+    population = evalset.population
+    updates = [(i, i + 1) for i in range(9_000)]
+    tx = Transaction(
+        sender=population.users[0],
+        to=population.rollup_contract,
+        data=rollup.rollup_calldata(updates),
+        gas_limit=10**9,
+    )
+    report, _, _ = client.pre_execute(service, session, [tx])
+    assert not report.aborted
+    assert report.traces[0].status == 1
+
+
+def test_single_hevm_device(evalset):
+    service = _service(evalset, hevm_count=1)
+    client, session = _session(service)
+    assert service.devices[0].idle_hevms == 1
+    report, _, _ = client.pre_execute(service, session, [evalset.transactions[0]])
+    assert report.traces[0].status == 1
+    assert service.devices[0].idle_hevms == 1  # released after the bundle
+
+
+def test_too_many_hevms_rejected(evalset):
+    with pytest.raises(ValueError):
+        _service(evalset, hevm_count=4)  # the XCZU15EV fits three
+
+
+def test_gas_cap_rejects_dos_bundles(evalset):
+    from repro.hypervisor import BundleRejected
+
+    service = _service(evalset)
+    hypervisor = service.devices[0].hypervisor
+    hypervisor.max_bundle_gas = 1_000_000  # a strict SP policy
+    client, session = _session(service)
+    greedy = Transaction(
+        sender=evalset.population.users[0],
+        to=evalset.population.token_a,
+        data=erc20.balance_of_calldata(evalset.population.users[0]),
+        gas_limit=30_000_000,
+    )
+    with pytest.raises(BundleRejected):
+        client.pre_execute(service, session, [greedy])
+    # A bundle within the cap still runs, and the core was not leaked
+    # by the rejected submission.
+    modest = Transaction(
+        sender=greedy.sender, to=greedy.to, data=greedy.data, gas_limit=500_000
+    )
+    report, _, _ = client.pre_execute(service, session, [modest])
+    assert report.traces[0].status == 1
+    assert service.devices[0].idle_hevms == service.devices[0].config.hevm_count

@@ -1,0 +1,115 @@
+"""Service-level block sync, A.E.DMA, service stats, deployer edges."""
+
+import pytest
+
+from repro.core import HarDTAPEService, PreExecutionClient, SecurityFeatures
+from repro.hypervisor.channel import SecureChannel
+from repro.hypervisor.messages import AeDma, MessageError
+from repro.state import Transaction
+from repro.workloads.contracts import erc20
+
+
+@pytest.fixture(scope="module")
+def evalset():
+    # A private evaluation set: this module GROWS the chain, so it must
+    # not share the session-scoped fixture with other tests.
+    from repro.workloads import EvaluationSetConfig, build_evaluation_set
+
+    return build_evaluation_set(
+        EvaluationSetConfig(blocks=2, txs_per_block=4, profile_contract_count=8)
+    )
+
+
+def test_service_sync_tracks_multiple_new_blocks(evalset):
+    service = HarDTAPEService(
+        evalset.node, SecurityFeatures.from_level("full"), charge_fees=False
+    )
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=b"\x2a" * 32
+    )
+    session = client.connect(service)
+    population = evalset.population
+    user, peer = population.users[0], population.users[1]
+
+    start_height = service.synced_height
+    for _ in range(3):
+        evalset.node.add_block([
+            Transaction(sender=user, to=population.token_a,
+                        data=erc20.transfer_calldata(peer, 7)),
+        ])
+    synced = service.sync_new_blocks()
+    assert synced == 3
+    assert service.synced_height == start_height + 3
+    assert service.stats.blocks_synced >= 3
+
+    # The new balance is visible through the ORAM.
+    report, _, _ = client.pre_execute(service, session, [
+        Transaction(sender=user, to=population.token_a,
+                    data=erc20.balance_of_calldata(peer)),
+    ])
+    onchain = evalset.node.state_at(service.synced_height).accounts[
+        population.token_a
+    ].storage[erc20.balance_slot(peer)]
+    assert int.from_bytes(report.traces[0].return_data, "big") == onchain
+
+
+def test_service_stats_accumulate(evalset):
+    service = HarDTAPEService(
+        evalset.node, SecurityFeatures.from_level("ES"), charge_fees=False
+    )
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=b"\x2b" * 32
+    )
+    session = client.connect(service)
+    for tx in evalset.transactions[:3]:
+        client.pre_execute(service, session, [tx])
+    assert service.stats.bundles_served == 3
+    assert service.stats.transactions_served == 3
+    assert service.stats.total_service_time_us > 0
+    assert len(service.stats.per_tx_breakdowns) == 3
+
+
+def test_ae_dma_ingress_egress_accounting():
+    key = b"\x77" * 32
+    sender = SecureChannel(key, sign_messages=False)
+    receiver = SecureChannel(key, sign_messages=False)
+    dma = AeDma()
+    body = b"x" * 300
+    sealed = sender.seal(body)
+    plaintext = dma.ingress(receiver, sealed, expected_length=300)
+    assert plaintext == body
+    out = dma.egress(sender, b"trace bytes")
+    assert receiver.open(out) == b"trace bytes"
+    assert dma.transfers == 2
+    assert dma.bytes_moved == 300 + len(b"trace bytes")
+
+
+def test_ae_dma_rejects_oversized_body():
+    key = b"\x77" * 32
+    sender = SecureChannel(key, sign_messages=False)
+    receiver = SecureChannel(key, sign_messages=False)
+    dma = AeDma()
+    sealed = sender.seal(b"y" * 500)
+    with pytest.raises(MessageError):
+        dma.ingress(receiver, sealed, expected_length=100)
+
+
+def test_deployer_handles_large_runtime(backend, chain):
+    """Runtimes > 255 bytes force a wider PUSH in the init header."""
+    from repro.evm import execute_transaction
+    from repro.state import JournaledState, Transaction
+    from repro.workloads.asm import assemble, deployer, push
+
+    from tests.conftest import ALICE
+
+    body = []
+    for i in range(120):
+        body += push(i + 1) + ["POP"]
+    runtime = assemble(body + ["STOP"])
+    assert len(runtime) > 255
+    state = JournaledState(backend)
+    result = execute_transaction(
+        state, chain, Transaction(sender=ALICE, to=None, data=deployer(runtime))
+    )
+    assert result.success, result.error
+    assert state.get_code(result.created_address) == runtime

@@ -1,0 +1,91 @@
+"""Property-based tests for RLP and the Merkle Patricia Trie."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import rlp
+from repro.trie import MerklePatriciaTrie, verify_proof
+
+rlp_items = st.recursive(
+    st.binary(max_size=70),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=25,
+)
+
+
+@given(rlp_items)
+def test_rlp_roundtrip(item):
+    assert rlp.decode(rlp.encode(item)) == item
+
+
+@given(st.integers(min_value=0, max_value=2**300))
+def test_rlp_uint_roundtrip(value):
+    assert rlp.decode_uint(rlp.encode_uint(value)) == value
+
+
+@given(rlp_items, rlp_items)
+def test_rlp_encoding_injective(a, b):
+    if a != b:
+        assert rlp.encode(a) != rlp.encode(b)
+
+
+trie_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete"]),
+        st.binary(min_size=1, max_size=6),
+        st.binary(min_size=1, max_size=20),
+    ),
+    max_size=60,
+)
+
+
+@given(trie_ops)
+@settings(max_examples=60, deadline=None)
+def test_trie_matches_dict_model(operations):
+    trie = MerklePatriciaTrie()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in operations:
+        if op == "put":
+            trie.put(key, value)
+            model[key] = value
+        else:
+            trie.delete(key)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert trie.get(key) == value
+    assert dict(trie.items()) == model
+
+
+@given(trie_ops)
+@settings(max_examples=40, deadline=None)
+def test_trie_root_is_content_determined(operations):
+    """The root depends only on final contents, not operation history."""
+    trie = MerklePatriciaTrie()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in operations:
+        if op == "put":
+            trie.put(key, value)
+            model[key] = value
+        else:
+            trie.delete(key)
+            model.pop(key, None)
+    fresh = MerklePatriciaTrie()
+    for key, value in sorted(model.items(), reverse=True):
+        fresh.put(key, value)
+    assert fresh.root_hash() == trie.root_hash()
+
+
+@given(trie_ops, st.binary(min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_trie_proofs_always_verify(operations, probe_key):
+    trie = MerklePatriciaTrie()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in operations:
+        if op == "put":
+            trie.put(key, value)
+            model[key] = value
+        else:
+            trie.delete(key)
+            model.pop(key, None)
+    root = trie.root_hash()
+    proof = trie.prove(probe_key)
+    assert verify_proof(root, probe_key, proof) == model.get(probe_key)

@@ -1,0 +1,139 @@
+"""ABI codec against known Solidity encodings."""
+
+import pytest
+
+from repro.evm.abi import (
+    AbiError,
+    decode,
+    encode,
+    encode_call,
+    function_selector,
+)
+from repro.workloads.contracts import erc20
+
+
+def test_known_selectors():
+    # The canonical ERC-20 selectors, independently derived.
+    assert function_selector("transfer(address,uint256)").hex() == "a9059cbb"
+    assert function_selector("balanceOf(address)").hex() == "70a08231"
+    assert function_selector("totalSupply()").hex() == "18160ddd"
+
+
+def test_encode_call_matches_handwritten_calldata():
+    to = b"\x11" * 20
+    ours = encode_call("transfer(address,uint256)", [to, 500])
+    handwritten = erc20.transfer_calldata(to, 500)
+    assert ours == handwritten
+
+
+def test_uint_encoding():
+    assert encode(["uint256"], [1]).hex() == "00" * 31 + "01"
+    assert encode(["uint8"], [255])[-1] == 255
+    with pytest.raises(AbiError):
+        encode(["uint8"], [256])
+    with pytest.raises(AbiError):
+        encode(["uint256"], [-1])
+
+
+def test_int_encoding_twos_complement():
+    encoded = encode(["int256"], [-1])
+    assert encoded == b"\xff" * 32
+    assert decode(["int256"], encoded) == [-1]
+    with pytest.raises(AbiError):
+        encode(["int8"], [128])
+    assert decode(["int8"], encode(["int8"], [-128])) == [-128]
+
+
+def test_address_and_bool():
+    address = b"\xab" * 20
+    encoded = encode(["address", "bool"], [address, True])
+    assert len(encoded) == 64
+    assert decode(["address", "bool"], encoded) == [address, True]
+
+
+def test_fixed_bytes():
+    encoded = encode(["bytes4"], [b"\xde\xad\xbe\xef"])
+    assert encoded[:4] == b"\xde\xad\xbe\xef"
+    assert encoded[4:] == b"\x00" * 28
+    assert decode(["bytes4"], encoded) == [b"\xde\xad\xbe\xef"]
+    with pytest.raises(AbiError):
+        encode(["bytes4"], [b"\x00" * 5])
+
+
+def test_dynamic_bytes_layout():
+    # Solidity reference: f(bytes) with "dave" -> offset 0x20, len 4.
+    encoded = encode(["bytes"], [b"dave"])
+    assert int.from_bytes(encoded[:32], "big") == 32
+    assert int.from_bytes(encoded[32:64], "big") == 4
+    assert encoded[64:68] == b"dave"
+    assert decode(["bytes"], encoded) == [b"dave"]
+
+
+def test_string_roundtrip():
+    encoded = encode(["string"], ["Hello, HarDTAPE"])
+    assert decode(["string"], encoded) == ["Hello, HarDTAPE"]
+
+
+def test_mixed_static_dynamic_heads():
+    # Canonical ABI example: (uint256, bytes, uint256).
+    encoded = encode(
+        ["uint256", "bytes", "uint256"], [0x123, b"ab", 0x456]
+    )
+    assert int.from_bytes(encoded[0:32], "big") == 0x123
+    assert int.from_bytes(encoded[32:64], "big") == 96  # offset past head
+    assert int.from_bytes(encoded[64:96], "big") == 0x456
+    assert decode(["uint256", "bytes", "uint256"], encoded) == [
+        0x123, b"ab", 0x456,
+    ]
+
+
+def test_uint_array():
+    encoded = encode(["uint256[]"], [[1, 2, 3]])
+    assert decode(["uint256[]"], encoded) == [[1, 2, 3]]
+    assert int.from_bytes(encoded[32:64], "big") == 3  # length word
+
+
+def test_two_dynamic_args():
+    encoded = encode(["bytes", "uint8[]"], [b"xyz", [7, 9]])
+    assert decode(["bytes", "uint8[]"], encoded) == [b"xyz", [7, 9]]
+
+
+def test_nested_dynamic_rejected():
+    with pytest.raises(AbiError):
+        encode(["bytes[]"], [[b"a"]])
+
+
+def test_length_mismatch():
+    with pytest.raises(AbiError):
+        encode(["uint256"], [1, 2])
+
+
+def test_decode_bounds_checked():
+    with pytest.raises(AbiError):
+        decode(["uint256", "uint256"], b"\x00" * 32)
+    # Offset pointing past the data.
+    bogus = (1000).to_bytes(32, "big")
+    with pytest.raises(AbiError):
+        decode(["bytes"], bogus)
+
+
+def test_abi_call_executes_against_contract(backend, chain):
+    """encode_call drives the real ERC-20 bytecode end to end."""
+    from repro.evm import execute_transaction
+    from repro.state import JournaledState, Transaction, to_address
+
+    from tests.conftest import ALICE
+
+    token = to_address(0x70CE)
+    backend.ensure(token).code = erc20.erc20_runtime()
+    state = JournaledState(backend)
+    mint = encode_call("mint(address,uint256)", [ALICE, 750])
+    result = execute_transaction(
+        state, chain, Transaction(sender=ALICE, to=token, data=mint)
+    )
+    assert result.success, result.error
+    query = encode_call("balanceOf(address)", [ALICE])
+    result = execute_transaction(
+        state, chain, Transaction(sender=ALICE, to=token, data=query)
+    )
+    assert decode(["uint256"], result.return_data) == [750]

@@ -1,0 +1,127 @@
+"""AES and AES-GCM against FIPS-197 / NIST SP 800-38D vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.gcm import AesGcm, AuthenticationError
+
+
+def test_fips197_aes128():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ciphertext = AES(key).encrypt_block(plaintext)
+    assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_fips197_aes192():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(plaintext).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+
+def test_fips197_aes256():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(plaintext).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+
+@pytest.mark.parametrize("key_size", [16, 24, 32])
+def test_decrypt_inverts_encrypt(key_size):
+    key = bytes(range(key_size))
+    cipher = AES(key)
+    for i in range(5):
+        block = bytes([i] * 16)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_invalid_key_length_rejected():
+    with pytest.raises(ValueError):
+        AES(b"short")
+
+
+def test_invalid_block_length_rejected():
+    with pytest.raises(ValueError):
+        AES(b"k" * 16).encrypt_block(b"too short")
+    with pytest.raises(ValueError):
+        AES(b"k" * 16).decrypt_block(b"too short")
+
+
+def test_ctr_keystream_length():
+    cipher = AES(b"k" * 16)
+    ks = cipher.ctr_keystream(b"\x00" * 16, 100)
+    assert len(ks) == 100
+
+
+# NIST GCM test case 3.
+_GCM_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+_GCM_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+_GCM_PT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+)
+_GCM_AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+def test_nist_gcm_vector():
+    gcm = AesGcm(_GCM_KEY)
+    out = gcm.encrypt(_GCM_IV, _GCM_PT, _GCM_AAD)
+    assert out[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    assert gcm.decrypt(_GCM_IV, out, _GCM_AAD) == _GCM_PT
+
+
+def test_gcm_empty_plaintext():
+    gcm = AesGcm(b"k" * 16)
+    out = gcm.encrypt(b"n" * 12, b"")
+    assert len(out) == 16  # tag only
+    assert gcm.decrypt(b"n" * 12, out) == b""
+
+
+def test_gcm_tamper_ciphertext_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = bytearray(gcm.encrypt(b"n" * 12, b"secret payload"))
+    out[0] ^= 1
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"n" * 12, bytes(out))
+
+
+def test_gcm_tamper_tag_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = bytearray(gcm.encrypt(b"n" * 12, b"secret payload"))
+    out[-1] ^= 0x80
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"n" * 12, bytes(out))
+
+
+def test_gcm_wrong_aad_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = gcm.encrypt(b"n" * 12, b"payload", aad=b"header-a")
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"n" * 12, out, aad=b"header-b")
+
+
+def test_gcm_wrong_key_detected():
+    out = AesGcm(b"k" * 16).encrypt(b"n" * 12, b"payload")
+    with pytest.raises(AuthenticationError):
+        AesGcm(b"j" * 16).decrypt(b"n" * 12, out)
+
+
+def test_gcm_short_message_rejected():
+    with pytest.raises(AuthenticationError):
+        AesGcm(b"k" * 16).decrypt(b"n" * 12, b"short")
+
+
+def test_gcm_nonce_length_enforced():
+    gcm = AesGcm(b"k" * 16)
+    with pytest.raises(ValueError):
+        gcm.encrypt(b"short", b"x")
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"short", b"x" * 32)
+
+
+def test_gcm_distinct_nonces_distinct_ciphertexts():
+    gcm = AesGcm(b"k" * 16)
+    a = gcm.encrypt((1).to_bytes(12, "big"), b"same message")
+    b = gcm.encrypt((2).to_bytes(12, "big"), b"same message")
+    assert a != b

@@ -1,0 +1,62 @@
+"""The repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--level", "raw"]) == 0
+    out = capsys.readouterr().out
+    assert "pre-executed" in out and "status=1" in out
+
+
+def test_evalset_summary(capsys):
+    assert main(["evalset", "--blocks", "1", "--txs-per-block", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 pre-executable transactions" in out
+    assert "profile code sizes" in out
+
+
+def test_trace_prints_opcodes(capsys):
+    assert main([
+        "trace", "--blocks", "1", "--txs-per-block", "2",
+        "--tx", "0", "--steps", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pc=0" in out and "status=" in out
+
+
+def test_trace_rejects_bad_index(capsys):
+    assert main([
+        "trace", "--blocks", "1", "--txs-per-block", "2", "--tx", "99",
+    ]) == 1
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_resources_table(capsys):
+    assert main(["resources"]) == 0
+    out = capsys.readouterr().out
+    assert "103,388" in out
+    assert "HEVMs per XCZU15EV: 3" in out
+
+
+def test_disasm_library_contract(capsys):
+    assert main(["disasm", "erc20"]) == 0
+    out = capsys.readouterr().out
+    assert "dispatch selectors" in out and "0xa9059cbb" in out
+
+
+def test_disasm_hex_bytecode(capsys):
+    assert main(["disasm", "0x6001600201"]) == 0
+    out = capsys.readouterr().out
+    assert "PUSH1 0x1" in out and "ADD" in out
+
+
+def test_disasm_unknown_input(capsys):
+    assert main(["disasm", "not-a-contract"]) == 1

@@ -1,0 +1,140 @@
+"""secp256k1 ECDSA / ECDH."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.ecc import (
+    G,
+    InvalidSignature,
+    N,
+    Point,
+    PrivateKey,
+    PublicKey,
+    Signature,
+    _point_add,
+    _scalar_mul,
+    decode_point,
+    encode_point,
+    point_on_curve,
+    recover_address,
+)
+
+
+def _digest(message: bytes) -> bytes:
+    return hashlib.sha256(message).digest()
+
+
+def test_generator_on_curve():
+    assert point_on_curve(G)
+
+
+def test_scalar_mul_matches_known_point():
+    # 2*G for secp256k1 is a published constant.
+    double = _scalar_mul(2, G)
+    assert double.x == int(
+        "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5", 16
+    )
+    assert double.y == int(
+        "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a", 16
+    )
+
+
+def test_order_times_generator_is_infinity():
+    assert _scalar_mul(N, G).is_infinity
+
+
+def test_point_add_inverse_is_infinity():
+    p = _scalar_mul(7, G)
+    neg = Point(p.x, (-p.y) % (2**256 - 2**32 - 977))
+    assert _point_add(p, neg).is_infinity
+
+
+def test_sign_verify_roundtrip():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    pk = sk.public_key()
+    digest = _digest(b"hello hardtape")
+    pk.verify(digest, sk.sign(digest))
+
+
+def test_signature_is_deterministic():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    digest = _digest(b"msg")
+    assert sk.sign(digest) == sk.sign(digest)
+
+
+def test_signature_is_low_s():
+    sk = PrivateKey.from_bytes(b"\x13" * 32)
+    for i in range(8):
+        sig = sk.sign(_digest(bytes([i])))
+        assert sig.s <= N // 2
+
+
+def test_wrong_message_rejected():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    sig = sk.sign(_digest(b"original"))
+    with pytest.raises(InvalidSignature):
+        sk.public_key().verify(_digest(b"forged"), sig)
+
+
+def test_wrong_key_rejected():
+    sk1 = PrivateKey.from_bytes(b"\x01" * 32)
+    sk2 = PrivateKey.from_bytes(b"\x02" * 32)
+    digest = _digest(b"msg")
+    with pytest.raises(InvalidSignature):
+        sk2.public_key().verify(digest, sk1.sign(digest))
+
+
+def test_out_of_range_scalars_rejected():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    digest = _digest(b"msg")
+    with pytest.raises(InvalidSignature):
+        sk.public_key().verify(digest, Signature(0, 1))
+    with pytest.raises(InvalidSignature):
+        sk.public_key().verify(digest, Signature(1, N))
+
+
+def test_signature_serialization_roundtrip():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    sig = sk.sign(_digest(b"msg"))
+    assert Signature.from_bytes(sig.to_bytes()) == sig
+    with pytest.raises(ValueError):
+        Signature.from_bytes(b"\x00" * 63)
+
+
+def test_point_encoding_roundtrip():
+    pk = PrivateKey.from_bytes(b"\x07" * 32).public_key()
+    assert decode_point(encode_point(pk.point)) == pk.point
+
+
+def test_decode_rejects_off_curve_point():
+    bogus = b"\x04" + b"\x01" * 64
+    with pytest.raises(ValueError):
+        decode_point(bogus)
+
+
+def test_ecdh_is_symmetric():
+    a = PrivateKey.from_bytes(b"\x0a" * 32)
+    b = PrivateKey.from_bytes(b"\x0b" * 32)
+    assert a.ecdh(b.public_key()) == b.ecdh(a.public_key())
+
+
+def test_ecdh_distinct_peers_distinct_secrets():
+    a = PrivateKey.from_bytes(b"\x0a" * 32)
+    b = PrivateKey.from_bytes(b"\x0b" * 32)
+    c = PrivateKey.from_bytes(b"\x0c" * 32)
+    assert a.ecdh(b.public_key()) != a.ecdh(c.public_key())
+
+
+def test_private_key_range_enforced():
+    with pytest.raises(ValueError):
+        PrivateKey(0)
+    with pytest.raises(ValueError):
+        PrivateKey(N)
+
+
+def test_recover_address_is_20_bytes():
+    sk = PrivateKey.from_bytes(b"\x42" * 32)
+    digest = _digest(b"tx")
+    address = recover_address(digest, sk.sign(digest), sk.public_key())
+    assert len(address) == 20

@@ -1,0 +1,205 @@
+"""Exact gas accounting against the Ethereum (Berlin/London) schedule.
+
+These tests pin absolute gas numbers so any drift in the gas model —
+which the paper's HEVM must reproduce bit-exactly for its traces to
+match a real node — fails loudly.
+"""
+
+import pytest
+
+from repro.evm import ChainContext, execute_transaction
+from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.workloads.asm import assemble, label, push, push_label
+
+from tests.conftest import ALICE
+
+TARGET = to_address(0x6A5)
+
+
+def run(backend, chain, program, gas_limit=30_000_000, storage=None):
+    backend.ensure(TARGET).code = assemble(program)
+    if storage:
+        backend.ensure(TARGET).storage.update(storage)
+    state = JournaledState(backend)
+    result = execute_transaction(
+        state, chain, Transaction(sender=ALICE, to=TARGET, gas_limit=gas_limit)
+    )
+    return result
+
+
+def test_empty_code_is_base_cost(backend, chain):
+    result = run(backend, chain, ["STOP"])
+    assert result.gas_used == 21_000
+
+
+def test_push_add_costs(backend, chain):
+    # 2 PUSH1 (3 each) + ADD (3) + STOP (0) = 9.
+    result = run(backend, chain, ["PUSH1", 1, "PUSH1", 2, "ADD", "STOP"])
+    assert result.gas_used == 21_000 + 9
+
+
+def test_push0_costs_2(backend, chain):
+    result = run(backend, chain, ["PUSH0", "POP", "STOP"])
+    assert result.gas_used == 21_000 + 2 + 2
+
+
+def test_cold_sload_costs_2100(backend, chain):
+    result = run(backend, chain, push(5) + ["SLOAD", "POP", "STOP"])
+    assert result.gas_used == 21_000 + 3 + 2_100 + 2
+
+
+def test_warm_sload_costs_100(backend, chain):
+    result = run(
+        backend, chain,
+        push(5) + ["SLOAD", "POP"] + push(5) + ["SLOAD", "POP", "STOP"],
+    )
+    assert result.gas_used == 21_000 + (3 + 2_100 + 2) + (3 + 100 + 2)
+
+
+def test_sstore_fresh_slot_costs_22100(backend, chain):
+    # Cold slot (2100) + fresh set (20000).
+    result = run(backend, chain, push(7) + push(5) + ["SSTORE", "STOP"])
+    assert result.gas_used == 21_000 + 6 + 2_100 + 20_000
+
+
+def test_sstore_reset_costs_5000_total(backend, chain):
+    # Existing non-zero slot: cold 2100 + reset 2900.
+    result = run(
+        backend, chain,
+        push(7) + push(5) + ["SSTORE", "STOP"],
+        storage={5: 1},
+    )
+    assert result.gas_used == 21_000 + 6 + 2_100 + 2_900
+
+
+def test_sstore_noop_costs_100(backend, chain):
+    result = run(
+        backend, chain,
+        push(1) + push(5) + ["SSTORE", "STOP"],
+        storage={5: 1},
+    )
+    assert result.gas_used == 21_000 + 6 + 2_100 + 100
+
+
+def test_sstore_clear_refund(backend, chain):
+    # Clearing a slot: 5000 gas, 4800 refund, capped at gas_used/5.
+    result = run(
+        backend, chain,
+        push(0) + push(5) + ["SSTORE", "STOP"],
+        storage={5: 9},
+    )
+    pre_refund = 21_000 + 5 + 2_100 + 2_900
+    refund = min(4_800, pre_refund // 5)
+    assert result.gas_used == pre_refund - refund
+
+
+def test_cold_balance_costs_2600(backend, chain):
+    other = to_address(0x9999)
+    program = ["PUSH20", int.from_bytes(other, "big"), "BALANCE", "POP", "STOP"]
+    result = run(backend, chain, program)
+    assert result.gas_used == 21_000 + 3 + 2_600 + 2
+
+
+def test_warm_balance_costs_100(backend, chain):
+    other = int.from_bytes(to_address(0x9999), "big")
+    program = (
+        ["PUSH20", other, "BALANCE", "POP"]
+        + ["PUSH20", other, "BALANCE", "POP", "STOP"]
+    )
+    result = run(backend, chain, program)
+    assert result.gas_used == 21_000 + (3 + 2_600 + 2) + (3 + 100 + 2)
+
+
+def test_memory_expansion_quadratic(backend, chain):
+    # MSTORE at 0: expand to 1 word -> 3 gas; at 32 KB: far more.
+    small = run(backend, chain, push(1) + ["PUSH0", "MSTORE", "STOP"])
+    base = 21_000 + 3 + 2 + 3  # push + push0 + mstore static
+    assert small.gas_used == base + 3  # one word
+    words = 1024  # expand to 32 KB
+    big = run(
+        backend, chain,
+        push(1) + push(words * 32 - 32) + ["MSTORE", "STOP"],
+    )
+    expected_expansion = 3 * words + words * words // 512
+    assert big.gas_used == 21_000 + 3 + 3 + 3 + expected_expansion
+
+
+def test_sha3_word_cost(backend, chain):
+    # SHA3 over 64 bytes: 30 static + 6*2 words + expansion for 2 words.
+    result = run(
+        backend, chain,
+        push(64) + ["PUSH0", "SHA3", "POP", "STOP"],
+    )
+    assert result.gas_used == 21_000 + 3 + 2 + (30 + 12 + 6) + 2
+
+
+def test_exp_per_byte(backend, chain):
+    # exponent 0x0100 has 2 bytes: 10 + 50*2.
+    result = run(
+        backend, chain,
+        push(0x100) + push(2) + ["EXP", "POP", "STOP"],
+    )
+    assert result.gas_used == 21_000 + 3 + 3 + (10 + 100) + 2
+
+
+def test_log1_costs(backend, chain):
+    result = run(
+        backend, chain,
+        push(0xAA) + push(32) + ["PUSH0", "LOG1", "STOP"],
+    )
+    # LOG1 static 375 + topic 375 + 32 data bytes * 8 + memory expansion 3...
+    # data length 32 from offset 0 (1 word).
+    assert result.gas_used == 21_000 + 3 + 3 + 2 + (375 + 375 + 256 + 3)
+
+
+def test_calldata_intrinsic_pricing(backend, chain):
+    backend.ensure(TARGET).code = assemble(["STOP"])
+    state = JournaledState(backend)
+    result = execute_transaction(
+        state, chain,
+        Transaction(sender=ALICE, to=TARGET, data=b"\x00\x01\x00\x02"),
+    )
+    assert result.gas_used == 21_000 + 4 + 16 + 4 + 16
+
+
+def test_eip150_gas_forwarding(backend, chain):
+    """A subcall gets at most 63/64 of the remaining gas."""
+    callee = to_address(0xCE)
+    # Callee: burn everything it got (loop until OOG).
+    backend.ensure(callee).code = assemble(
+        [label("loop"), "JUMPDEST", push_label("loop"), "JUMP"]
+    )
+    # Caller: CALL with huge gas request, then still succeed afterwards.
+    program = (
+        push(0) + push(0) + push(0) + push(0) + push(0)
+        + ["PUSH20", int.from_bytes(callee, "big")]
+        + ["PUSH32", 2**200, "CALL", "POP"]   # request absurd gas
+        + push(1) + push(0) + ["SSTORE", "STOP"]  # caller continues
+    )
+    # 1/64 of ~2M leaves ~31k gas: enough for the fresh SSTORE (22.1k).
+    result = run(backend, chain, program, gas_limit=2_000_000)
+    # The callee burned its 63/64 share, but 1/64 remained: enough for
+    # the caller's SSTORE, so the transaction still succeeds.
+    assert result.success, result.error
+    assert result.write_set.storage[(TARGET, 0)] == 1
+
+
+def test_call_depth_limit_1024(backend, chain):
+    """Self-recursive CALL stops at depth 1024 without failing the tx."""
+    recursive = to_address(0x0EC)
+    # Contract calls itself, then stores depth-counter results.
+    backend.ensure(recursive).code = assemble(
+        push(0) + ["SLOAD"] + push(1) + ["ADD"] + push(0) + ["SSTORE"]
+        + push(0) + push(0) + push(0) + push(0) + push(0)
+        + ["PUSH20", int.from_bytes(recursive, "big"), "GAS", "CALL", "POP", "STOP"]
+    )
+    state = JournaledState(backend)
+    result = execute_transaction(
+        state, chain,
+        Transaction(sender=ALICE, to=recursive, gas_limit=30_000_000),
+    )
+    assert result.success
+    # Depth counter: one increment per frame; the 63/64 rule throttles
+    # recursion long before 1024 with this gas limit, but the counter
+    # must be well over 1 and the tx must not blow up.
+    assert state.get_storage(recursive, 0) > 10

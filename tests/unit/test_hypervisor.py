@@ -1,0 +1,418 @@
+"""Hypervisor components: attestation, channel, messages, scheduler, sync."""
+
+import pytest
+
+from repro.crypto.ecc import PrivateKey
+from repro.crypto.kdf import Drbg
+from repro.crypto.puf import Manufacturer
+from repro.hardware.csu import BootImage, ConfigurationSecurityUnit
+from repro.hardware.hevm import HevmCore
+from repro.hardware.timing import CostModel, SimClock
+from repro.hypervisor.attestation import (
+    AttestationError,
+    build_report,
+    derive_session_key,
+    verify_report,
+)
+from repro.hypervisor.channel import ChannelError, SecureChannel
+from repro.hypervisor.messages import (
+    HEADER_SIZE,
+    MessageError,
+    MessageHeader,
+    MessageType,
+    validate_and_admit,
+)
+from repro.hypervisor.scheduler import HevmScheduler, SchedulingError
+from repro.hypervisor.sync import AccountUpdate, BlockSynchronizer, SyncError
+from repro.hypervisor.hypervisor import SecurityFeatures
+from repro.oram.adapter import ObliviousStateBackend
+from repro.oram.client import PathOramClient
+from repro.oram.server import OramServer
+from repro.state import Account, WorldState, to_address
+
+
+# -- attestation ---------------------------------------------------------------
+
+
+def _device():
+    manufacturer = Manufacturer(b"m")
+    puf, identity = manufacturer.provision(b"serial")
+    csu = ConfigurationSecurityUnit(puf, identity)
+    receipt = csu.secure_boot(BootImage("hv", b"fw"))
+    device_key = PrivateKey.from_bytes(puf.derive_key(b"device-key"))
+    return manufacturer, receipt, device_key
+
+
+def _fresh_keys():
+    return (
+        PrivateKey.from_bytes(b"\x21" * 32),
+        PrivateKey.from_bytes(b"\x22" * 32),
+    )
+
+
+def test_attestation_roundtrip():
+    manufacturer, receipt, device_key = _device()
+    session_key, dh_key = _fresh_keys()
+    nonce = b"\x07" * 32
+    report = build_report(receipt, device_key, session_key, dh_key, nonce)
+    verify_report(report, manufacturer.root_public_key, nonce)
+
+
+def test_attestation_nonce_replay_rejected():
+    manufacturer, receipt, device_key = _device()
+    session_key, dh_key = _fresh_keys()
+    report = build_report(receipt, device_key, session_key, dh_key, b"\x01" * 32)
+    with pytest.raises(AttestationError):
+        verify_report(report, manufacturer.root_public_key, b"\x02" * 32)
+
+
+def test_attestation_forged_device_rejected():
+    manufacturer, _, _ = _device()
+    rogue_mfr, rogue_receipt, rogue_key = (
+        lambda m: (m, *_rogue(m))
+    )(Manufacturer(b"rogue"))
+    session_key, dh_key = _fresh_keys()
+    report = build_report(rogue_receipt, rogue_key, session_key, dh_key, b"\x01" * 32)
+    with pytest.raises(AttestationError):
+        verify_report(report, manufacturer.root_public_key, b"\x01" * 32)
+
+
+def _rogue(manufacturer):
+    puf, identity = manufacturer.provision(b"serial")
+    csu = ConfigurationSecurityUnit(puf, identity)
+    receipt = csu.secure_boot(BootImage("hv", b"fw"))
+    return receipt, PrivateKey.from_bytes(puf.derive_key(b"device-key"))
+
+
+def test_attestation_swapped_session_key_rejected():
+    manufacturer, receipt, device_key = _device()
+    session_key, dh_key = _fresh_keys()
+    nonce = b"\x01" * 32
+    report = build_report(receipt, device_key, session_key, dh_key, nonce)
+    # A MITM substitutes their own DH share: the binding signature breaks.
+    from dataclasses import replace
+
+    mitm_dh = PrivateKey.from_bytes(b"\x66" * 32)
+    tampered = replace(report, dh_public=mitm_dh.public_key())
+    with pytest.raises(AttestationError):
+        verify_report(tampered, manufacturer.root_public_key, nonce)
+
+
+def test_session_key_agreement():
+    a_dh = PrivateKey.from_bytes(b"\x31" * 32)
+    b_dh = PrivateKey.from_bytes(b"\x32" * 32)
+    transcript = b"shared-transcript"
+    key_a = derive_session_key(a_dh, b_dh.public_key(), transcript)
+    key_b = derive_session_key(b_dh, a_dh.public_key(), transcript)
+    assert key_a == key_b
+    assert derive_session_key(a_dh, b_dh.public_key(), b"other") != key_a
+
+
+# -- secure channel ---------------------------------------------------------------
+
+
+def _channel_pair(sign=True):
+    key = b"\x55" * 32
+    alice_key = PrivateKey.from_bytes(b"\x41" * 32)
+    bob_key = PrivateKey.from_bytes(b"\x42" * 32)
+    alice = SecureChannel(
+        key, own_signing_key=alice_key,
+        peer_verify_key=bob_key.public_key(), sign_messages=sign,
+    )
+    bob = SecureChannel(
+        key, own_signing_key=bob_key,
+        peer_verify_key=alice_key.public_key(), sign_messages=sign,
+    )
+    return alice, bob
+
+
+def test_channel_roundtrip():
+    alice, bob = _channel_pair()
+    sealed = alice.seal(b"bundle bytes")
+    assert bob.open(sealed) == b"bundle bytes"
+
+
+def test_channel_tamper_detected():
+    alice, bob = _channel_pair(sign=False)
+    sealed = alice.seal(b"bundle bytes")
+    from dataclasses import replace
+
+    bad = replace(sealed, ciphertext=sealed.ciphertext[:-1] + b"\x00")
+    with pytest.raises(ChannelError):
+        bob.open(bad)
+
+
+def test_channel_signature_enforced():
+    alice, bob = _channel_pair(sign=True)
+    sealed = alice.seal(b"bundle")
+    from dataclasses import replace
+
+    unsigned = replace(sealed, signature=None)
+    with pytest.raises(ChannelError):
+        bob.open(unsigned)
+
+
+def test_channel_wrong_signer_rejected():
+    alice, bob = _channel_pair(sign=True)
+    mallory = SecureChannel(
+        b"\x55" * 32,
+        own_signing_key=PrivateKey.from_bytes(b"\x99" * 32),
+        peer_verify_key=PrivateKey.from_bytes(b"\x41" * 32).public_key(),
+    )
+    sealed = mallory.seal(b"fake bundle")
+    with pytest.raises(ChannelError):
+        bob.open(sealed)
+
+
+def test_channel_nonces_advance():
+    alice, bob = _channel_pair()
+    first = alice.seal(b"a")
+    second = alice.seal(b"b")
+    assert first.nonce != second.nonce
+    assert bob.open(first) == b"a"
+    assert bob.open(second) == b"b"
+
+
+# -- message protocol ----------------------------------------------------------------
+
+
+def test_header_pack_unpack():
+    header = MessageHeader(MessageType.USER_BUNDLE, 100, 2, 7)
+    packed = header.pack()
+    assert len(packed) == HEADER_SIZE
+    assert MessageHeader.unpack(packed) == header
+
+
+def test_admit_valid_message():
+    header = MessageHeader(MessageType.TRACE_OUT, 5, 0, 1)
+    parsed, body = validate_and_admit(header.pack() + b"hello")
+    assert parsed.msg_type == MessageType.TRACE_OUT
+    assert body == b"hello"
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda raw: raw[:4],  # truncated header
+        lambda raw: b"\x00" * 4 + raw[4:],  # bad magic
+        lambda raw: raw[:HEADER_SIZE] + b"extra" + raw[HEADER_SIZE:],  # length lie
+        lambda raw: raw[:7] + bytes([99]) + raw[8:],  # unknown type
+    ],
+)
+def test_admit_rejects_malformed(mutate):
+    header = MessageHeader(MessageType.USER_BUNDLE, 5, 0, 1)
+    raw = header.pack() + b"hello"
+    with pytest.raises(MessageError):
+        validate_and_admit(mutate(raw))
+
+
+def test_admit_rejects_checksum_mismatch():
+    header = MessageHeader(MessageType.USER_BUNDLE, 5, 0, 1)
+    raw = bytearray(header.pack() + b"hello")
+    raw[12] ^= 1  # flip a bit in the target field
+    with pytest.raises(MessageError):
+        validate_and_admit(bytes(raw))
+
+
+def test_oversized_body_rejected():
+    import struct
+
+    from repro.hypervisor import messages
+
+    raw = struct.pack(
+        ">IIIIQII",
+        0x48445450,
+        1,
+        messages.MAX_BODY_SIZE + 1,
+        0,
+        0,
+        0,
+        0,
+    )
+    with pytest.raises(MessageError):
+        MessageHeader.unpack(raw)
+
+
+# -- scheduler ------------------------------------------------------------------------
+
+
+def _cores(n):
+    clock = SimClock()
+    return [HevmCore(i, clock, CostModel()) for i in range(n)]
+
+
+def test_scheduler_exclusive_assignment():
+    cores = _cores(2)
+    scheduler = HevmScheduler(cores)
+    scheduler.submit(b"s1", 0.0)
+    scheduler.submit(b"s2", 0.0)
+    a1, _ = scheduler.try_assign(1.0)
+    a2, _ = scheduler.try_assign(1.0)
+    assert a1.core is not a2.core
+    assert scheduler.idle_count == 0
+    assert scheduler.owner_of(a1.core) == b"s1"
+
+
+def test_scheduler_queues_when_busy():
+    scheduler = HevmScheduler(_cores(1))
+    scheduler.submit(b"s1", 0.0)
+    scheduler.submit(b"s2", 0.0)
+    first, _ = scheduler.try_assign(0.0)
+    assert scheduler.try_assign(0.0) is None
+    assert scheduler.queue_depth == 1
+    scheduler.release(first.core)
+    second, _ = scheduler.try_assign(5.0)
+    assert second.session_id == b"s2"
+    assert scheduler.stats.total_queue_wait_us == 5.0
+
+
+def test_release_resets_core():
+    scheduler = HevmScheduler(_cores(1))
+    scheduler.submit(b"s1", 0.0)
+    assignment, _ = scheduler.try_assign(0.0)
+    assignment.core.ws_cache.put(("secret",), 42)
+    assignment.core.l2.push_frame(1024)
+    scheduler.release(assignment.core)
+    assert assignment.core.ws_cache.get(("secret",)) is None
+    assert assignment.core.l2.depth == 0
+    assert not assignment.core.busy
+
+
+def test_double_release_rejected():
+    scheduler = HevmScheduler(_cores(1))
+    scheduler.submit(b"s1", 0.0)
+    assignment, _ = scheduler.try_assign(0.0)
+    scheduler.release(assignment.core)
+    with pytest.raises(SchedulingError):
+        scheduler.release(assignment.core)
+
+
+# -- block synchronization -----------------------------------------------------------
+
+
+def _oram_backend():
+    server = OramServer(height=8)
+    client = PathOramClient(server, key=b"x" * 32)
+    return ObliviousStateBackend(client)
+
+
+def _world_with_account():
+    world = WorldState()
+    address = to_address(0xAB)
+    account = world.ensure(address)
+    account.balance = 1000
+    account.nonce = 1
+    account.code = b"\x60\x01"
+    account.storage[5] = 50
+    return world, address
+
+
+def test_sync_applies_verified_update():
+    world, address = _world_with_account()
+    root = world.commit()
+    backend = _oram_backend()
+    synchronizer = BlockSynchronizer(backend)
+    update = AccountUpdate(
+        address=address,
+        account=world.accounts[address].copy(),
+        account_proof=world.prove_account(address),
+        storage_proofs={5: world.prove_storage(address, 5)},
+    )
+    pages = synchronizer.apply_block(root, [update])
+    assert pages >= 3
+    assert backend.get_meta(address).balance == 1000
+    assert backend.get_storage(address, 5) == 50
+    assert synchronizer.stats.storage_slots_verified == 1
+
+
+def test_sync_rejects_tampered_balance():
+    world, address = _world_with_account()
+    root = world.commit()
+    backend = _oram_backend()
+    synchronizer = BlockSynchronizer(backend)
+    tampered = world.accounts[address].copy()
+    tampered.balance = 10**18  # SP lies about the balance
+    update = AccountUpdate(
+        address=address,
+        account=tampered,
+        account_proof=world.prove_account(address),
+    )
+    with pytest.raises(SyncError):
+        synchronizer.apply_block(root, [update])
+    assert not backend.get_meta(address).exists  # nothing ingested
+
+
+def test_sync_rejects_tampered_code():
+    world, address = _world_with_account()
+    root = world.commit()
+    synchronizer = BlockSynchronizer(_oram_backend())
+    tampered = world.accounts[address].copy()
+    tampered.code = b"\x60\x66"  # malicious bytecode swap
+    update = AccountUpdate(
+        address=address,
+        account=tampered,
+        account_proof=world.prove_account(address),
+    )
+    with pytest.raises(SyncError):
+        synchronizer.apply_block(root, [update])
+
+
+def test_sync_rejects_tampered_storage():
+    world, address = _world_with_account()
+    root = world.commit()
+    synchronizer = BlockSynchronizer(_oram_backend())
+    tampered = world.accounts[address].copy()
+    tampered.storage[5] = 999
+    update = AccountUpdate(
+        address=address,
+        account=tampered,
+        account_proof=world.prove_account(address),
+        storage_proofs={},
+    )
+    # Storage mismatch changes the storage root -> account proof fails.
+    with pytest.raises(SyncError):
+        synchronizer.apply_block(root, [update])
+
+
+def test_sync_rejects_phantom_account():
+    world, _ = _world_with_account()
+    root = world.commit()
+    synchronizer = BlockSynchronizer(_oram_backend())
+    phantom = to_address(0xFEED)
+    update = AccountUpdate(
+        address=phantom,
+        account=Account(balance=5),
+        account_proof=world.prove_account(phantom),  # non-membership proof
+    )
+    with pytest.raises(SyncError):
+        synchronizer.apply_block(root, [update])
+
+
+def test_security_features_levels():
+    raw = SecurityFeatures.from_level("raw")
+    assert not raw.encryption and not raw.oram_storage
+    es = SecurityFeatures.from_level("ES")
+    assert es.encryption and es.signatures and not es.oram_storage
+    eso = SecurityFeatures.from_level("ESO")
+    assert eso.oram_storage and not eso.oram_code
+    full = SecurityFeatures.from_level("full")
+    assert full.oram_code and full.prefetch
+    with pytest.raises(ValueError):
+        SecurityFeatures.from_level("bogus")
+
+
+def test_channel_rejects_replay():
+    alice, bob = _channel_pair()
+    first = alice.seal(b"bundle-1")
+    assert bob.open(first) == b"bundle-1"
+    with pytest.raises(ChannelError):
+        bob.open(first)  # the SP re-submits the old bundle
+
+
+def test_channel_rejects_reordering():
+    alice, bob = _channel_pair()
+    first = alice.seal(b"bundle-1")
+    second = alice.seal(b"bundle-2")
+    assert bob.open(second) == b"bundle-2"
+    with pytest.raises(ChannelError):
+        bob.open(first)  # older nonce after a newer one

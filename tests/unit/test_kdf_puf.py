@@ -1,0 +1,104 @@
+"""HKDF, DRBG, and the simulated PUF / Manufacturer chain."""
+
+import pytest
+
+from repro.crypto.ecc import InvalidSignature
+from repro.crypto.kdf import Drbg, hkdf_sha256
+from repro.crypto.puf import Manufacturer, SimulatedPuf
+
+
+def test_hkdf_rfc5869_case_1():
+    # RFC 5869 test case 1.
+    okm = hkdf_sha256(
+        ikm=bytes.fromhex("0b" * 22),
+        salt=bytes.fromhex("000102030405060708090a0b0c"),
+        info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+        length=42,
+    )
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_length_cap():
+    with pytest.raises(ValueError):
+        hkdf_sha256(b"ikm", length=255 * 32 + 1)
+
+
+def test_drbg_deterministic():
+    a = Drbg(b"seed").random_bytes(64)
+    b = Drbg(b"seed").random_bytes(64)
+    assert a == b
+
+
+def test_drbg_personalization_separates_streams():
+    a = Drbg(b"seed", personalization=b"a").random_bytes(32)
+    b = Drbg(b"seed", personalization=b"b").random_bytes(32)
+    assert a != b
+
+
+def test_drbg_randint_bounds():
+    rng = Drbg(b"seed")
+    values = [rng.randint(10) for _ in range(500)]
+    assert all(0 <= v < 10 for v in values)
+    assert len(set(values)) == 10  # all values appear over 500 draws
+
+
+def test_drbg_randint_near_uniform():
+    rng = Drbg(b"seed2")
+    draws = [rng.randint(4) for _ in range(4000)]
+    for bucket in range(4):
+        share = draws.count(bucket) / len(draws)
+        assert 0.2 < share < 0.3
+
+
+def test_drbg_randrange():
+    rng = Drbg(b"seed")
+    assert all(5 <= rng.randrange(5, 9) < 9 for _ in range(100))
+    with pytest.raises(ValueError):
+        rng.randrange(5, 5)
+
+
+def test_drbg_fork_independent():
+    parent = Drbg(b"seed")
+    child_a = parent.fork(b"a")
+    child_b = parent.fork(b"b")
+    assert child_a.random_bytes(16) != child_b.random_bytes(16)
+
+
+def test_puf_stable_and_device_unique():
+    puf1 = SimulatedPuf(b"master", b"serial-1")
+    puf1_again = SimulatedPuf(b"master", b"serial-1")
+    puf2 = SimulatedPuf(b"master", b"serial-2")
+    assert puf1.derive_key(b"k") == puf1_again.derive_key(b"k")
+    assert puf1.derive_key(b"k") != puf2.derive_key(b"k")
+
+
+def test_manufacturer_endorsement_verifies():
+    manufacturer = Manufacturer(b"master")
+    _, identity = manufacturer.provision(b"serial-9")
+    message = Manufacturer.endorsement_message(
+        identity.serial, identity.device_key.public_key()
+    )
+    manufacturer.root_public_key.verify(message, identity.endorsement)
+
+
+def test_forged_device_fails_endorsement():
+    honest = Manufacturer(b"master")
+    rogue = Manufacturer(b"rogue-master")
+    _, forged = rogue.provision(b"serial-9")
+    message = Manufacturer.endorsement_message(
+        forged.serial, forged.device_key.public_key()
+    )
+    with pytest.raises(InvalidSignature):
+        honest.root_public_key.verify(message, forged.endorsement)
+
+
+def test_puf_key_matches_device_key():
+    manufacturer = Manufacturer(b"master")
+    puf, identity = manufacturer.provision(b"serial-1")
+    from repro.crypto.ecc import PrivateKey
+
+    rederived = PrivateKey.from_bytes(puf.derive_key(b"device-key"))
+    assert rederived.secret == identity.device_key.secret

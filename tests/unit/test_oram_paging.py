@@ -1,0 +1,202 @@
+"""Paged world-state schema, oblivious backend, prefetcher, encrypted store."""
+
+import pytest
+
+from repro.oram import paging
+from repro.oram.adapter import ObliviousStateBackend
+from repro.oram.client import PathOramClient
+from repro.oram.encrypted_store import EncryptedKvStore
+from repro.oram.prefetch import CodePrefetcher
+from repro.oram.server import OramServer
+from repro.crypto.kdf import Drbg
+from repro.state import Account, AccountMeta, EMPTY_CODE_HASH, to_address
+
+
+@pytest.fixture
+def backend():
+    server = OramServer(height=8)
+    client = PathOramClient(server, key=b"x" * 32)
+    return ObliviousStateBackend(client)
+
+
+# -- page schema -------------------------------------------------------------
+
+
+def test_page_keys_distinct():
+    address = to_address(1)
+    keys = {
+        paging.account_page_key(address),
+        paging.storage_page_key(address, 0),
+        paging.code_page_key(address, 0),
+    }
+    assert len(keys) == 3
+
+
+def test_storage_keys_group_32():
+    address = to_address(1)
+    assert paging.storage_page_key(address, 0) == paging.storage_page_key(address, 31)
+    assert paging.storage_page_key(address, 31) != paging.storage_page_key(address, 32)
+
+
+def test_account_page_roundtrip():
+    meta = AccountMeta(10**18, 5, b"\xaa" * 32, 777)
+    page = paging.encode_account_page(meta)
+    assert len(page) == paging.PAGE_SIZE
+    decoded = paging.decode_account_page(page)
+    assert decoded == meta
+
+
+def test_account_page_none_is_empty():
+    decoded = paging.decode_account_page(None)
+    assert decoded.balance == 0 and decoded.code_hash == EMPTY_CODE_HASH
+
+
+def test_storage_page_roundtrip():
+    values = {32 * 3 + 5: 99, 32 * 3 + 31: 12345}
+    page = paging.encode_storage_page(values, group=3)
+    assert len(page) == paging.PAGE_SIZE
+    assert paging.decode_storage_record(page, 32 * 3 + 5) == 99
+    assert paging.decode_storage_record(page, 32 * 3 + 31) == 12345
+    assert paging.decode_storage_record(page, 32 * 3 + 6) == 0
+    assert paging.decode_storage_record(None, 5) == 0
+
+
+def test_page_directory_densifies():
+    directory = paging.PageDirectory()
+    a = directory.id_for(b"page-a")
+    b = directory.id_for(b"page-b")
+    assert (a, b) == (0, 1)
+    assert directory.id_for(b"page-a") == 0
+    assert len(directory) == 2
+
+
+# -- oblivious backend -----------------------------------------------------------
+
+
+def test_sync_and_read_account(backend):
+    address = to_address(0xAB)
+    account = Account(balance=5, nonce=2, code=b"\x60\x01" * 700, storage={3: 7, 40: 8})
+    pages = backend.sync_account(address, account)
+    assert pages == 1 + 2 + 2  # meta + 2 storage groups + 2 code pages
+    meta = backend.get_meta(address)
+    assert meta.balance == 5 and meta.code_size == 1400
+    assert backend.get_storage(address, 3) == 7
+    assert backend.get_storage(address, 40) == 8
+    assert backend.get_storage(address, 41) == 0
+    assert backend.get_code(address) == account.code
+
+
+def test_absent_account_reads_empty(backend):
+    address = to_address(0xCD)
+    assert not backend.get_meta(address).exists
+    assert backend.get_storage(address, 1) == 0
+    assert backend.get_code(address) == b""
+
+
+def test_query_stats_by_kind(backend):
+    address = to_address(0xAB)
+    backend.sync_account(address, Account(balance=1, code=b"\x01" * 100))
+    backend.get_meta(address)
+    backend.get_storage(address, 0)
+    backend.get_code(address)
+    stats = backend.stats
+    assert stats.account_queries == 1
+    assert stats.storage_queries == 1
+    assert stats.code_queries == 1
+    assert stats.total == 3
+
+
+def test_prefetch_query_kind(backend):
+    address = to_address(0xAB)
+    backend.sync_account(address, Account(code=b"\x01" * 2000))
+    backend.prefetch_code_page(address, 1)
+    assert backend.stats.prefetch_queries == 1
+
+
+def test_block_size_mismatch_rejected():
+    server = OramServer(height=4)
+    client = PathOramClient(server, key=b"x" * 32, block_size=512)
+    with pytest.raises(ValueError):
+        ObliviousStateBackend(client)
+
+
+def test_clock_timestamps_recorded():
+    server = OramServer(height=4)
+    client = PathOramClient(server, key=b"x" * 32)
+    now = {"t": 0.0}
+    backend = ObliviousStateBackend(client, clock=lambda: now["t"])
+    now["t"] = 123.0
+    backend.get_meta(to_address(1))
+    assert backend.stats.log[-1].sim_time_us == 123.0
+
+
+# -- prefetcher ---------------------------------------------------------------------
+
+
+def test_prefetcher_spreads_pages():
+    prefetcher = CodePrefetcher(Drbg(b"p"), initial_gap_us=100.0)
+    prefetcher.queue_code_pages(to_address(1), 1, 5)
+    assert prefetcher.pending_count == 5
+    fired = prefetcher.due(10_000.0)
+    assert len(fired) == 5
+    times = [entry.fire_time_us for entry in fired]
+    assert times == sorted(times)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # Gaps are randomized around half the mean gap: within (25, 75).
+    assert all(25.0 <= gap <= 75.0 for gap in gaps)
+
+
+def test_prefetcher_nothing_due_before_deadline():
+    prefetcher = CodePrefetcher(Drbg(b"p"), initial_gap_us=1000.0)
+    prefetcher.queue_code_pages(to_address(1), 0, 3)
+    assert prefetcher.due(1.0) == []
+    assert prefetcher.pending_count == 4
+
+
+def test_prefetcher_drain_flushes_all():
+    prefetcher = CodePrefetcher(Drbg(b"p"))
+    prefetcher.queue_code_pages(to_address(1), 0, 9)
+    fired = prefetcher.drain(now_us=0.0, gap_us=50.0)
+    assert len(fired) == 10
+    assert prefetcher.pending_count == 0
+    assert [e.fire_time_us for e in fired] == [i * 50.0 for i in range(10)]
+
+
+def test_prefetcher_disabled_never_fires():
+    prefetcher = CodePrefetcher(Drbg(b"p"), enabled=False)
+    prefetcher.queue_code_pages(to_address(1), 0, 3)
+    assert prefetcher.due(10**9) == []
+
+
+def test_prefetcher_adapts_mean_gap():
+    prefetcher = CodePrefetcher(Drbg(b"p"), initial_gap_us=1000.0, ema_alpha=0.5)
+    before = prefetcher._mean_gap_us
+    prefetcher.on_query(100.0)
+    prefetcher.on_query(200.0)  # observed gap 100
+    assert prefetcher._mean_gap_us < before
+
+
+def test_prefetcher_clear():
+    prefetcher = CodePrefetcher(Drbg(b"p"))
+    prefetcher.queue_code_pages(to_address(1), 0, 3)
+    prefetcher.clear()
+    assert prefetcher.pending_count == 0
+
+
+# -- encrypted (non-oblivious) store ----------------------------------------------
+
+
+def test_encrypted_store_roundtrip():
+    store = EncryptedKvStore(b"k" * 32)
+    store.put(b"alpha", b"value-1")
+    assert store.get(b"alpha") == b"value-1"
+    assert store.get(b"beta") is None
+
+
+def test_encrypted_store_handles_are_stable():
+    store = EncryptedKvStore(b"k" * 32)
+    store.put(b"alpha", b"v")
+    store.get(b"alpha")
+    store.get(b"alpha")
+    handles = {event.handle for event in store.trace.events}
+    assert len(handles) == 1  # the leak: same key -> same handle, always

@@ -1,0 +1,155 @@
+"""Receipts, bloom filters, and the node's log-filter RPC."""
+
+import pytest
+
+from repro.evm.frame import Log
+from repro.node import EthereumNode
+from repro.state import Account, Transaction, to_address
+from repro.state.receipts import (
+    Bloom,
+    Receipt,
+    block_bloom,
+    find_logs,
+    receipts_root,
+)
+from repro.trie import EMPTY_ROOT
+from repro.workloads.contracts import erc20
+
+ALICE = to_address(0xA1)
+BOB = to_address(0xB2)
+TOKEN = to_address(0x70CE)
+
+
+def _log(address=TOKEN, topics=(0x1234,), data=b"d"):
+    return Log(address, list(topics), data)
+
+
+# -- bloom -------------------------------------------------------------------
+
+
+def test_bloom_membership():
+    bloom = Bloom()
+    bloom.add(b"alpha")
+    assert bloom.might_contain(b"alpha")
+    assert not bloom.might_contain(b"beta")
+
+
+def test_bloom_sets_exactly_three_bits_per_entry():
+    bloom = Bloom()
+    bloom.add(b"alpha")
+    assert 1 <= bin(bloom.value).count("1") <= 3
+
+
+def test_bloom_union():
+    a, b = Bloom(), Bloom()
+    a.add(b"x")
+    b.add(b"y")
+    union = a | b
+    assert union.might_contain(b"x") and union.might_contain(b"y")
+
+
+def test_bloom_covers_log_address_and_topics():
+    bloom = Bloom.from_logs([_log(topics=(7, 9))])
+    assert bloom.might_contain(TOKEN)
+    assert bloom.might_contain((7).to_bytes(32, "big"))
+    assert bloom.might_contain((9).to_bytes(32, "big"))
+    assert not bloom.might_contain((8).to_bytes(32, "big"))
+
+
+def test_bloom_serialization_size():
+    bloom = Bloom()
+    bloom.add(b"entry")
+    assert len(bloom.to_bytes()) == 256
+
+
+# -- receipts -----------------------------------------------------------------
+
+
+def test_receipt_rlp_is_deterministic():
+    receipt = Receipt(1, 21_000, [_log()])
+    assert receipt.rlp_encode() == receipt.rlp_encode()
+
+
+def test_receipts_root_empty():
+    assert receipts_root([]) == EMPTY_ROOT
+
+
+def test_receipts_root_order_sensitive():
+    a = Receipt(1, 100, [])
+    b = Receipt(0, 200, [])
+    assert receipts_root([a, b]) != receipts_root([b, a])
+
+
+def test_find_logs_filters():
+    receipts = [
+        Receipt(1, 100, [_log(topics=(1,))]),
+        Receipt(1, 200, [_log(address=BOB, topics=(2,))]),
+        Receipt(1, 300, [_log(topics=(1, 3))]),
+    ]
+    assert len(find_logs(receipts)) == 3
+    assert len(find_logs(receipts, address=TOKEN)) == 2
+    assert len(find_logs(receipts, topic=1)) == 2
+    assert len(find_logs(receipts, address=BOB, topic=2)) == 1
+    assert find_logs(receipts, topic=99) == []
+
+
+def test_block_bloom_unions_receipts():
+    receipts = [
+        Receipt(1, 100, [_log(topics=(1,))]),
+        Receipt(1, 200, [_log(address=BOB, topics=(2,))]),
+    ]
+    bloom = block_bloom(receipts)
+    assert bloom.might_contain(TOKEN) and bloom.might_contain(BOB)
+
+
+# -- node integration --------------------------------------------------------------
+
+
+@pytest.fixture
+def node():
+    node = EthereumNode(
+        genesis_accounts={
+            ALICE: Account(balance=10**21),
+            TOKEN: Account(code=erc20.erc20_runtime()),
+        }
+    )
+    node.add_block([
+        Transaction(sender=ALICE, to=TOKEN,
+                    data=erc20.mint_calldata(ALICE, 1000)),
+    ])
+    node.add_block([
+        Transaction(sender=ALICE, to=TOKEN,
+                    data=erc20.transfer_calldata(BOB, 25)),
+        Transaction(sender=ALICE, to=BOB, value=1),  # no logs
+    ])
+    return node
+
+
+def test_node_builds_receipts(node):
+    executed = node._block(2)
+    assert len(executed.receipts) == 2
+    assert executed.receipts[0].status == 1
+    # Cumulative gas is monotone.
+    assert executed.receipts[1].cumulative_gas > executed.receipts[0].cumulative_gas
+    assert executed.receipts_root() != EMPTY_ROOT
+
+
+def test_node_get_logs_by_topic(node):
+    matches = node.get_logs(0, node.height, topic=erc20.TRANSFER_EVENT_SIG)
+    assert len(matches) == 1
+    block_number, tx_index, log = matches[0]
+    assert (block_number, tx_index) == (2, 0)
+    assert log.address == TOKEN
+    # Topics: [sig, from, to].
+    assert log.topics[1] == int.from_bytes(ALICE, "big")
+    assert log.topics[2] == int.from_bytes(BOB, "big")
+
+
+def test_node_get_logs_by_address(node):
+    assert len(node.get_logs(0, node.height, address=TOKEN)) == 1
+    assert node.get_logs(0, node.height, address=to_address(0x9999)) == []
+
+
+def test_node_get_logs_range_bounds(node):
+    assert node.get_logs(0, 1, topic=erc20.TRANSFER_EVENT_SIG) == []
+    assert len(node.get_logs(2, 99, topic=erc20.TRANSFER_EVENT_SIG)) == 1
