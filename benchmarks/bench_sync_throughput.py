@@ -38,7 +38,7 @@ def sync_measurements():
         evalset.node.add_block(new_txs)
         target = service.synced_height + 1
         updates = evalset.node.sync_updates_for(target)
-        root = evalset.node._block(target).block.header.state_root
+        root = evalset.node.block_at(target).block.header.state_root
         started = device.clock.now_us
         pages = device.hypervisor.sync_block(root, updates)
         elapsed_us = device.clock.now_us - started

@@ -34,7 +34,7 @@ def frame_stats(evalset):
     storage_keys, depths = [], []
     node = evalset.node
     for block_number in range(2, node.height + 1):
-        executed = node._block(block_number)
+        executed = node.block_at(block_number)
         working = executed.pre_state.copy()
         chain = node.chain_context(executed.block.header)
         for tx in executed.block.transactions:

@@ -64,7 +64,7 @@ def main() -> None:
     target = node.height
     updates = node.sync_updates_for(target)
     updates[0].account.balance += 10**18  # the lie
-    state_root = node._block(target).block.header.state_root
+    state_root = node.block_at(target).block.header.state_root
     try:
         service.devices[0].hypervisor.sync_block(state_root, updates)
     except SyncError as exc:

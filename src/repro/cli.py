@@ -7,6 +7,7 @@
     python -m repro.cli figure4             # the Figure 4 sweep
     python -m repro.cli trace --tx 0        # opcode-level trace of one tx
     python -m repro.cli resources           # the §VI-A area table
+    python -m repro.cli serve-bench         # gateway saturation sweep (§VI-D)
 
 Everything runs offline and deterministically.
 """
@@ -62,13 +63,13 @@ def cmd_evalset(args) -> int:
     print(f"evaluation set: seed={args.seed}, {node.height} blocks, "
           f"{len(evalset.transactions)} pre-executable transactions")
     print(f"contracts: {len(evalset.population.profiles)} profile, "
-          f"2 ERC-20, 1 DEX, 1 rollup, 1 honeypot")
+          "2 ERC-20, 1 DEX, 1 rollup, 1 honeypot")
     sizes = sorted(evalset.population.profile_sizes.values())
     print(f"profile code sizes: {sizes[0]}..{sizes[-1]} bytes")
     gas = [
         result.gas_used
         for number in range(2, node.height + 1)
-        for result in node._block(number).results
+        for result in node.block_at(number).results
     ]
     print(f"gas per tx: min={min(gas)} median={sorted(gas)[len(gas)//2]} "
           f"max={max(gas)}")
@@ -176,6 +177,74 @@ def cmd_resources(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from repro.hardware.timing import CostModel
+    from repro.serving import (
+        FleetModelExecutor,
+        Gateway,
+        GatewayConfig,
+        QueueDepthShedPolicy,
+        model_sessions,
+        run_closed_loop,
+        run_open_loop,
+        synthetic_profiles,
+    )
+
+    cost = CostModel(ethernet_rtt_us=args.rtt_us)
+    profiles = synthetic_profiles(
+        cost, kind=args.workload, seed=args.seed
+    )
+    try:
+        sweep = [int(token) for token in args.hevms.split(",")]
+    except ValueError:
+        print(f"invalid --hevms {args.hevms!r}: expected comma-separated "
+              "integers, e.g. 5,10,25", file=sys.stderr)
+        return 2
+    if any(cores <= 0 for cores in sweep):
+        print(f"invalid --hevms {args.hevms!r}: fleet sizes must be positive",
+              file=sys.stderr)
+        return 2
+
+    print(f"closed-loop sweep ({args.workload} workload, "
+          f"{args.requests} requests/session, rtt={args.rtt_us:g} µs):")
+    print(f"{'HEVMs':>6} {'tx/s':>9} {'per-HEVM':>9} "
+          f"{'server util':>12} {'p99 latency':>12}")
+    for cores in sweep:
+        executor = FleetModelExecutor(core_count=cores, cost=cost)
+        gateway = Gateway(executor, GatewayConfig(
+            max_queue_depth=4 * cores, max_in_flight_per_session=4,
+        ))
+        report = run_closed_loop(
+            gateway, model_sessions(cores, profiles),
+            requests_per_session=args.requests,
+        )
+        print(f"{cores:>6} {report.throughput_tps:>9.1f} "
+              f"{report.throughput_tps / cores:>9.2f} "
+              f"{executor.server.utilization(gateway.now_us):>11.1%} "
+              f"{report.latency_percentile_us(99) / 1000:>10.1f}ms")
+
+    if args.overload_rate > 0:
+        cores = sweep[len(sweep) // 2]
+        executor = FleetModelExecutor(core_count=cores, cost=cost)
+        gateway = Gateway(
+            executor,
+            GatewayConfig(max_queue_depth=4 * cores,
+                          max_in_flight_per_session=4),
+            admission=QueueDepthShedPolicy(shed_depth=2 * cores),
+        )
+        report = run_open_loop(
+            gateway, model_sessions(cores, profiles),
+            rate_rps=args.overload_rate,
+            total_requests=args.requests * cores,
+            seed=args.seed, pattern="poisson",
+        )
+        print(f"\nopen-loop overload ({cores} HEVMs, "
+              f"{args.overload_rate:g} req/s offered):")
+        for line in report.summary_lines():
+            print(f"  {line}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -216,6 +285,23 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("contract",
                         help="erc20|dex|rollup|honeypot|profile or hex")
     disasm.set_defaults(func=cmd_disasm)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the multi-tenant gateway to saturation (§VI-D)",
+    )
+    serve.add_argument("--hevms", default="5,10,15,20,25,30,40,50",
+                       help="comma-separated fleet sizes to sweep")
+    serve.add_argument("--requests", type=int, default=40,
+                       help="requests per session (closed loop)")
+    serve.add_argument("--workload", default="full-load",
+                       choices=["full-load", "mixed"])
+    serve.add_argument("--rtt-us", type=float, default=0.0,
+                       help="Ethernet RTT per ORAM query (µs)")
+    serve.add_argument("--overload-rate", type=float, default=5000.0,
+                       help="open-loop offered load in req/s (0 disables)")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -6,7 +6,7 @@ from repro.core.device import (
     RELEASE_IMAGE,
     RELEASE_MEASUREMENT,
 )
-from repro.core.service import HarDTAPEService, ServiceStats
+from repro.core.service import HarDTAPEService, NoIdleHevmError, ServiceStats
 from repro.core.user import PreExecutionClient, UserSession
 from repro.hypervisor.bundle_codec import (
     TraceReport,
@@ -19,6 +19,7 @@ __all__ = [
     "DeviceConfig",
     "HarDTAPEDevice",
     "HarDTAPEService",
+    "NoIdleHevmError",
     "PreExecutionClient",
     "RELEASE_IMAGE",
     "RELEASE_MEASUREMENT",

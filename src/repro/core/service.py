@@ -14,13 +14,20 @@ from dataclasses import dataclass, field
 from repro.crypto.puf import Manufacturer
 from repro.evm.interpreter import ChainContext
 from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
-from repro.hypervisor.bundle_codec import TraceReport
 from repro.hypervisor.hypervisor import SecurityFeatures
 from repro.node.node import EthereumNode
 from repro.oram.server import OramServer
 from repro.core.device import DeviceConfig, HarDTAPEDevice
 from repro.state.blocks import BlockHeader
 from repro.state.world import WorldState
+
+
+class NoIdleHevmError(RuntimeError):
+    """Every HEVM across every device is busy (saturation, not a bug).
+
+    The serving layer (`repro.serving.gateway`) consumes this typed
+    signal to queue or shed instead of crashing the caller.
+    """
 
 
 @dataclass
@@ -109,7 +116,7 @@ class HarDTAPEService:
         device = self.devices[0]
         while self.synced_height < self.node.height:
             target = self.synced_height + 1
-            executed = self.node._block(target)
+            executed = self.node.block_at(target)
             updates = self.node.sync_updates_for(target)
             if device.oram_backend is not None:
                 device.hypervisor.sync_block(
@@ -128,15 +135,49 @@ class HarDTAPEService:
     # ------------------------------------------------------------------
 
     def pick_device(self) -> HarDTAPEDevice:
-        """Route to a device with an idle HEVM."""
-        for device in self.devices:
-            if device.idle_hevms > 0:
-                return device
-        raise RuntimeError("no idle HEVM available")
+        """Route to a device with an idle HEVM, or raise :class:`NoIdleHevmError`."""
+        device = self.try_pick_device()
+        if device is None:
+            raise NoIdleHevmError(
+                f"all {sum(d.config.hevm_count for d in self.devices)} HEVMs "
+                f"across {len(self.devices)} device(s) are busy"
+            )
+        return device
+
+    def try_pick_device(self) -> HarDTAPEDevice | None:
+        """Queue-aware routing: the idle device with the shallowest queue.
+
+        Among devices with an idle HEVM, prefer the one whose scheduler
+        queue is shallowest (most headroom); ``None`` when saturated.
+        """
+        candidates = [d for d in self.devices if d.idle_hevms > 0]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda d: (d.hypervisor.scheduler.queue_depth, -d.idle_hevms),
+        )
+
+    def least_loaded_device(self) -> HarDTAPEDevice:
+        """The best device to bind a new session to, busy or not.
+
+        Unlike :meth:`pick_device` this never raises: under saturation it
+        returns the device with the most idle cores, breaking ties on the
+        shallowest scheduler queue — the gateway binds sessions here and
+        lets its own queue absorb the wait.
+        """
+        return min(
+            self.devices,
+            key=lambda d: (-d.idle_hevms, d.hypervisor.scheduler.queue_depth),
+        )
+
+    def queue_depths(self) -> list[int]:
+        """Per-device scheduler queue depths (serving-layer observability)."""
+        return [d.hypervisor.scheduler.queue_depth for d in self.devices]
 
     def pending_chain_context(self) -> ChainContext:
         """Simulate against a pending header on top of the synced tip."""
-        tip = self.node._block(self.synced_height).block.header
+        tip = self.node.block_at(self.synced_height).block.header
         pending = BlockHeader(
             number=tip.number + 1,
             parent_hash=tip.block_hash(),

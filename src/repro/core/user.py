@@ -58,9 +58,18 @@ class PreExecutionClient:
             hkdf_sha256(self._seed, info=b"user-key%d" % self._counter)
         )
 
-    def connect(self, service: HarDTAPEService) -> UserSession:
-        """Attest a device and establish the secure channel."""
-        device = service.pick_device()
+    def connect(
+        self, service: HarDTAPEService, device: HarDTAPEDevice | None = None
+    ) -> UserSession:
+        """Attest a device and establish the secure channel.
+
+        Without an explicit ``device`` the service routes to an idle one
+        (raising :class:`~repro.core.service.NoIdleHevmError` when
+        saturated).  The serving gateway passes the device it selected so
+        sessions land where capacity is.
+        """
+        if device is None:
+            device = service.pick_device()
         nonce = self._fresh_key().secret.to_bytes(32, "big")
 
         report, hv_session_key, hv_dh_key = device.hypervisor.begin_attestation(nonce)

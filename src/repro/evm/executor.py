@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.evm import gas as gas_rules
 from repro.evm.exceptions import InvalidTransaction
 from repro.evm.frame import Log, Message
-from repro.evm.interpreter import ChainContext, FrameResult, Interpreter
+from repro.evm.interpreter import ChainContext, Interpreter
 from repro.evm.tracer import Tracer
 from repro.state.account import Address, to_address
 from repro.state.blocks import Transaction

@@ -14,11 +14,7 @@ import sys
 from dataclasses import dataclass
 
 from repro.evm import opcodes
-from repro.evm.exceptions import (
-    CallDepthExceeded,
-    FrameError,
-    OutOfGas,
-)
+from repro.evm.exceptions import FrameError, OutOfGas
 from repro.evm.frame import CALL_DEPTH_LIMIT, ExecutionFrame, Message
 from repro.evm.instructions import DISPATCH
 from repro.evm.precompiles import PRECOMPILES

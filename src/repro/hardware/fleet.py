@@ -30,6 +30,137 @@ class TxProfile:
 
 
 @dataclass
+class OramServerTimeline:
+    """The single ORAM server as a FIFO timeline (§VI-D bottleneck).
+
+    Shared between :class:`FleetSimulator` and the serving layer's model
+    executor so both price server contention identically: a query that
+    arrives while the server is busy waits until it frees, and every
+    query costs the same CPU service time.
+    """
+
+    service_us: float
+    free_at_us: float = 0.0
+    busy_us: float = 0.0
+    queue_wait_us: float = 0.0
+    queries_served: int = 0
+
+    def serve(self, arrival_us: float) -> float:
+        """Serve one query arriving at ``arrival_us``; return departure."""
+        start = max(arrival_us, self.free_at_us)
+        self.queue_wait_us += start - arrival_us
+        self.free_at_us = start + self.service_us
+        self.busy_us += self.service_us
+        self.queries_served += 1
+        return self.free_at_us
+
+    def utilization(self, duration_us: float) -> float:
+        if duration_us <= 0:
+            return 0.0
+        return self.busy_us / duration_us
+
+
+@dataclass
+class OramServerLedger:
+    """The server as fluid capacity bucketed over *future* time.
+
+    The event-driven :class:`OramServerTimeline` needs arrivals in
+    global time order; a gateway pricing a whole request at dispatch
+    cannot provide that — its queries land across a window during which
+    other in-flight requests' queries interleave.  The ledger models the
+    server as 1 µs of work capacity per µs of time, discretized into
+    buckets: each query's work is placed in the earliest bucket at or
+    after its arrival with spare capacity, overflow cascading forward.
+    Below capacity, concurrent requests don't delay each other at all;
+    past it, work cascades and service times stretch — the same §VI-D
+    knee, priced at dispatch.  (Approximation: placed work is never
+    re-ordered, so an earlier dispatch is never delayed by a later one;
+    aggregate throughput is still capped exactly at server capacity.)
+    """
+
+    service_us: float
+    # Bucket a few query-services wide: big enough to amortize the dict,
+    # small enough that within-bucket serialization (all of a bucket's
+    # work notionally starts at its head) stays close to true FIFO.
+    bucket_us: float = 100.0
+    busy_us: float = 0.0
+    queue_wait_us: float = 0.0
+    queries_served: int = 0
+    _committed: dict[int, float] = field(default_factory=dict)
+
+    def serve(self, arrival_us: float) -> float:
+        """Reserve one query's work; return its completion time."""
+        work = self.service_us
+        self.busy_us += work
+        self.queries_served += 1
+        index = max(0, int(arrival_us // self.bucket_us))
+        completion = arrival_us + self.service_us
+        while work > 0:
+            committed = self._committed.get(index, 0.0)
+            free = self.bucket_us - committed
+            if free <= 0:
+                index += 1
+                continue
+            take = min(free, work)
+            self._committed[index] = committed + take
+            work -= take
+            completion = index * self.bucket_us + committed + take
+        completion = max(completion, arrival_us + self.service_us)
+        self.queue_wait_us += completion - arrival_us - self.service_us
+        return completion
+
+    def utilization(self, duration_us: float) -> float:
+        if duration_us <= 0:
+            return 0.0
+        return self.busy_us / duration_us
+
+
+def profile_finish_us(
+    profile: TxProfile,
+    start_us: float,
+    server: "OramServerTimeline | OramServerLedger",
+    cost: CostModel,
+) -> float:
+    """Finish time of one transaction walked against a shared server.
+
+    The transaction alternates compute gaps with ORAM queries exactly as
+    :class:`FleetSimulator` does, but its whole walk happens at once:
+    every query is reserved on the shared server model up front.  Use an
+    :class:`OramServerLedger` when requests are priced at dispatch while
+    others are still in flight (the serving gateway); the event-ordered
+    :class:`OramServerTimeline` is only correct when calls arrive in
+    global time order.
+    """
+    half_rtt = cost.ethernet_rtt_us / 2.0
+    segments = profile.oram_queries + 1
+    gap = profile.exec_us / segments
+    now = start_us + profile.fixed_us
+    if profile.oram_queries == 0:
+        return now + profile.exec_us
+    for _ in range(profile.oram_queries):
+        now += gap
+        departure = server.serve(now + half_rtt)
+        now = departure + half_rtt
+    return now + gap
+
+
+def full_load_profile(cost: CostModel, oram_queries: int = 16) -> TxProfile:
+    """The paper's "full-load HEVM" shape (§VI-D).
+
+    An HEVM at full load issues one ORAM query every ≈630 µs, so a
+    25 µs/query server sustains ⌊630/25⌋ ≈ 25 of them.  The compute gap
+    is whatever is left of the 630 µs period after the wire and the
+    unloaded server are paid (clamped to stay positive under cost models
+    whose RTT alone exceeds the period — there the knee simply moves).
+    """
+    period_us = 630.0
+    gap = max(
+        1.0, period_us - cost.oram_server_cpu_us - cost.ethernet_rtt_us
+    )
+    return TxProfile(exec_us=gap * (oram_queries + 1), oram_queries=oram_queries)
+
+
+@dataclass
 class FleetResult:
     """Outcome of one fleet run."""
 
@@ -96,7 +227,7 @@ class FleetSimulator:
         """Simulate until every core finishes its transaction quota."""
         cost = self.cost
         half_rtt = cost.ethernet_rtt_us / 2.0
-        service = cost.oram_server_cpu_us
+        server = OramServerTimeline(cost.oram_server_cpu_us)
 
         # Event heap: (time, seq, kind, hevm_index)
         events: list[tuple[float, int, str, int]] = []
@@ -108,10 +239,6 @@ class FleetSimulator:
             sequence += 1
 
         hevms = [_Hevm(i) for i in range(hevm_count)]
-        server_free_at = 0.0
-        server_busy = 0.0
-        queue_wait = 0.0
-        queries_served = 0
         completed = 0
         now = 0.0
 
@@ -141,12 +268,8 @@ class FleetSimulator:
                 # Arrives at the server after half an RTT.
                 schedule(now + half_rtt, "server_arrival", index)
             elif kind == "server_arrival":
-                start_service = max(now, server_free_at)
-                queue_wait += start_service - now
-                server_free_at = start_service + service
-                server_busy += service
-                queries_served += 1
-                schedule(server_free_at + half_rtt, "response", index)
+                departure = server.serve(now)
+                schedule(departure + half_rtt, "response", index)
             elif kind == "response":
                 hevm.queries_left -= 1
                 profile = profile_for(hevm)
@@ -164,9 +287,9 @@ class FleetSimulator:
             hevm_count=hevm_count,
             duration_us=now,
             transactions_completed=completed,
-            server_busy_us=server_busy,
-            total_queue_wait_us=queue_wait,
-            queries_served=queries_served,
+            server_busy_us=server.busy_us,
+            total_queue_wait_us=server.queue_wait_us,
+            queries_served=server.queries_served,
         )
 
     @staticmethod

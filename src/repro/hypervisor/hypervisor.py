@@ -12,7 +12,7 @@ deployment through device-to-device DHKE.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.ecc import PrivateKey, PublicKey
 from repro.crypto.kdf import Drbg, hkdf_sha256

@@ -11,7 +11,7 @@ A2 and is enforced here as an invariant.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.hardware.hevm import HevmCore
@@ -37,6 +37,14 @@ class SchedulerStats:
     bundles_started: int = 0
     bundles_completed: int = 0
     total_queue_wait_us: float = 0.0
+    max_queue_wait_us: float = 0.0
+    peak_queue_depth: int = 0
+
+    @property
+    def mean_queue_wait_us(self) -> float:
+        if self.bundles_started == 0:
+            return 0.0
+        return self.total_queue_wait_us / self.bundles_started
 
 
 class HevmScheduler:
@@ -61,6 +69,17 @@ class HevmScheduler:
         """Queue a bundle for the session."""
         self._queue.append((session_id, now_us, payload))
         self.stats.bundles_queued += 1
+        self.stats.peak_queue_depth = max(
+            self.stats.peak_queue_depth, len(self._queue)
+        )
+
+    def queued_waits_us(self, now_us: float) -> list[float]:
+        """How long each still-queued bundle has waited, in FIFO order.
+
+        The serving gateway polls this to expose head-of-line wait as a
+        backpressure signal without popping anything.
+        """
+        return [now_us - queued_at for _, queued_at, _ in self._queue]
 
     def try_assign(self, now_us: float) -> tuple[Assignment, Any] | None:
         """Pop the next queued bundle onto an idle core, if any."""
@@ -76,7 +95,9 @@ class HevmScheduler:
         assignment = Assignment(core, session_id, queued_at, now_us)
         self._assignments[core.core_id] = assignment
         self.stats.bundles_started += 1
-        self.stats.total_queue_wait_us += now_us - queued_at
+        wait = now_us - queued_at
+        self.stats.total_queue_wait_us += wait
+        self.stats.max_queue_wait_us = max(self.stats.max_queue_wait_us, wait)
         return assignment, payload
 
     def release(self, core: HevmCore) -> None:

@@ -91,12 +91,16 @@ class EthereumNode:
 
     def state_at(self, block_number: int) -> WorldState:
         """The committed world state *after* executing ``block_number``."""
-        return self._block(block_number).post_state
+        return self.block_at(block_number).post_state
 
-    def _block(self, number: int) -> ExecutedBlock:
+    def block_at(self, number: int) -> ExecutedBlock:
+        """The executed block at ``number`` (0 = genesis)."""
         if not 0 <= number < len(self._blocks):
             raise KeyError(f"unknown block {number}")
         return self._blocks[number]
+
+    def _block(self, number: int) -> ExecutedBlock:
+        return self.block_at(number)
 
     def chain_context(self, header: BlockHeader) -> ChainContext:
         return ChainContext(header, dict(self._block_hashes))

@@ -27,7 +27,7 @@ weakness Path ORAM does not have.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.kdf import Drbg
 from repro.crypto.suite import Blake2Aead

@@ -13,7 +13,7 @@ CPU cost per query so the 25 µs/query capacity bound can be measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 

@@ -1,0 +1,63 @@
+"""The serving layer: HarDTAPE's untrusted multi-tenant front door.
+
+Sits above ``repro.core``; observes ``hardware``/``hypervisor`` stats;
+is never imported by the substrates.  See ``gateway`` for the request
+lifecycle, ``admission`` for overload policy, ``loadgen`` for the
+closed/open-loop harness, and ``metrics`` for the registry everything
+reports into.
+"""
+
+from repro.serving.admission import (
+    AdmissionPolicy,
+    CompositeAdmission,
+    GlobalConcurrencyPolicy,
+    QueueDepthShedPolicy,
+    RejectReason,
+    TokenBucketPolicy,
+)
+from repro.serving.gateway import (
+    BundleExecutor,
+    FleetModelExecutor,
+    Gateway,
+    GatewayConfig,
+    GatewayRequest,
+    RequestStatus,
+    ServiceExecutor,
+)
+from repro.serving.loadgen import (
+    LoadReport,
+    LoadSession,
+    arrival_times,
+    model_sessions,
+    run_closed_loop,
+    run_open_loop,
+    synthetic_profiles,
+)
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "AdmissionPolicy",
+    "BundleExecutor",
+    "CompositeAdmission",
+    "Counter",
+    "FleetModelExecutor",
+    "Gauge",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayRequest",
+    "GlobalConcurrencyPolicy",
+    "Histogram",
+    "LoadReport",
+    "LoadSession",
+    "MetricsRegistry",
+    "QueueDepthShedPolicy",
+    "RejectReason",
+    "RequestStatus",
+    "ServiceExecutor",
+    "TokenBucketPolicy",
+    "arrival_times",
+    "model_sessions",
+    "run_closed_loop",
+    "run_open_loop",
+    "synthetic_profiles",
+]

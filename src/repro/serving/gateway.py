@@ -1,0 +1,422 @@
+"""The multi-tenant request gateway — HarDTAPE's untrusted front door.
+
+The paper's SP runs HarDTAPE as a shared service: bundles "queue until
+an HEVM is idle" and throughput scales with HEVM count until the ORAM
+server bottlenecks (§VI-D).  This module turns the one-shot
+:class:`~repro.core.service.HarDTAPEService` into that shared service:
+many sessions submit concurrently, a bounded priority/FIFO queue
+absorbs bursts, admission control sheds overload with typed reasons,
+and per-request deadlines give timeout + cancellation semantics.
+
+Concurrency is modeled in *virtual time*: the gateway owns a virtual
+clock (microseconds, same unit as :class:`~repro.hardware.timing.SimClock`),
+an event heap of in-flight completions, and one capacity slot per HEVM.
+Execution itself is pluggable:
+
+* :class:`ServiceExecutor` drives the real functional pipeline through
+  ``HarDTAPEService.submit_bundle`` — results are bit-identical to the
+  direct path, and the measured SimClock delta is the service time;
+* :class:`FleetModelExecutor` prices synthetic
+  :class:`~repro.hardware.fleet.TxProfile` load against the shared
+  :class:`~repro.hardware.fleet.OramServerTimeline`, reproducing the
+  §VI-D saturation knee at fleet scale without running bytecode.
+
+Layering: serving sits *above* ``core`` and observes ``hardware`` /
+``hypervisor`` statistics; nothing below ever imports it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.hardware.fleet import OramServerLedger, profile_finish_us
+from repro.hardware.timing import CostModel
+from repro.serving.admission import AdmissionPolicy, RejectReason
+from repro.serving.metrics import MetricsRegistry
+
+
+class RequestStatus:
+    """Lifecycle states of a gateway request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class GatewayRequest:
+    """One submission's full lifecycle record.
+
+    ``payload`` is executor-specific: a sealed bundle (or a zero-arg
+    callable producing one, invoked at dispatch so secure-channel nonces
+    stay ordered) for :class:`ServiceExecutor`, a
+    :class:`~repro.hardware.fleet.TxProfile` for
+    :class:`FleetModelExecutor`.
+    """
+
+    request_id: int
+    session_id: bytes
+    submitted_at_us: float
+    priority: int = 0              # lower dispatches first; FIFO within a level
+    deadline_us: float | None = None
+    device_index: int | None = None
+    payload: Any = None
+    status: str = RequestStatus.QUEUED
+    reject_reason: str | None = None
+    started_at_us: float | None = None
+    finished_at_us: float | None = None
+    service_us: float | None = None
+    result: Any = None
+
+    @property
+    def queue_wait_us(self) -> float | None:
+        if self.started_at_us is None:
+            return None
+        return self.started_at_us - self.submitted_at_us
+
+    @property
+    def latency_us(self) -> float | None:
+        if self.finished_at_us is None or self.status != RequestStatus.COMPLETED:
+            return None
+        return self.finished_at_us - self.submitted_at_us
+
+
+class BundleExecutor(Protocol):
+    """Where dispatched requests actually run.
+
+    ``slots`` lists one entry per capacity slot (HEVM); each entry is the
+    device index the slot belongs to, or ``None`` for device-agnostic
+    model slots.  ``execute`` runs a request starting at ``start_us`` of
+    virtual time and returns ``(service_us, result)``.
+    """
+
+    slots: list[int | None]
+
+    def execute(
+        self, request: GatewayRequest, start_us: float
+    ) -> tuple[float, Any]:
+        ...  # pragma: no cover - protocol
+
+
+class ServiceExecutor:
+    """Run bundles through the real functional pipeline.
+
+    Service time is the SimClock delta measured by
+    ``HarDTAPEService.submit_bundle``, so the gateway's virtual timeline
+    stays calibrated to the same cost model as every other experiment.
+    Note the channel-ordering contract: trace reports are sealed at
+    dispatch, so a session opening its reports must do so in completion
+    order — sessions wanting strict ordering should keep one request in
+    flight (``GatewayConfig.max_in_flight_per_session = 1``).
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.slots: list[int | None] = []
+        for index, device in enumerate(service.devices):
+            self.slots.extend([index] * device.config.hevm_count)
+
+    def execute(
+        self, request: GatewayRequest, start_us: float
+    ) -> tuple[float, Any]:
+        if request.device_index is None:
+            raise ValueError("service-path requests are session/device bound")
+        payload = request.payload() if callable(request.payload) else request.payload
+        device = self.service.devices[request.device_index]
+        sealed_out, elapsed, _breakdowns, _run_stats = self.service.submit_bundle(
+            device, request.session_id, payload
+        )
+        return elapsed, sealed_out
+
+
+class FleetModelExecutor:
+    """Price synthetic ``TxProfile`` load against the shared ORAM server.
+
+    Every request's queries are reserved on one
+    :class:`~repro.hardware.fleet.OramServerLedger` at dispatch, so as
+    concurrency grows past the server's capacity, service times inflate
+    and gateway throughput knees — the §VI-D bottleneck, now visible
+    through the front door.
+    """
+
+    def __init__(
+        self,
+        core_count: int,
+        cost: CostModel | None = None,
+        server: OramServerLedger | None = None,
+    ) -> None:
+        if core_count < 1:
+            raise ValueError("need at least one core")
+        self.cost = cost or CostModel()
+        self.server = server or OramServerLedger(self.cost.oram_server_cpu_us)
+        self.slots: list[int | None] = [None] * core_count
+
+    def execute(
+        self, request: GatewayRequest, start_us: float
+    ) -> tuple[float, Any]:
+        finish = profile_finish_us(request.payload, start_us, self.server, self.cost)
+        return finish - start_us, None
+
+
+@dataclass
+class GatewayConfig:
+    """Front-door knobs."""
+
+    max_queue_depth: int = 64
+    max_in_flight_per_session: int = 4   # queued + running, per session
+    default_deadline_us: float | None = None
+    default_priority: int = 0
+
+
+class Gateway:
+    """Bounded queue + admission control + deadline-aware dispatch."""
+
+    def __init__(
+        self,
+        executor: BundleExecutor,
+        config: GatewayConfig | None = None,
+        admission: AdmissionPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.executor = executor
+        self.config = config or GatewayConfig()
+        self.admission = admission
+        self.metrics = metrics or MetricsRegistry()
+        self._now_us = 0.0
+        self._sequence = 0
+        # (priority, sequence, request): FIFO within a priority level.
+        self._queue: list[tuple[int, int, GatewayRequest]] = []
+        self._queued_count = 0
+        # (finish_us, sequence, slot, request)
+        self._events: list[tuple[float, int, int, GatewayRequest]] = []
+        self._free_slots: list[int] = list(range(len(executor.slots)))
+        self._in_flight = 0
+        self._session_outstanding: dict[bytes, int] = {}
+        self._slot_busy_us: list[float] = [0.0] * len(executor.slots)
+        self._terminal: list[GatewayRequest] = []
+
+    # ------------------------------------------------------------------
+    # Load view (admission policies and the loadgen read these)
+    # ------------------------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def capacity(self) -> int:
+        return len(self.executor.slots)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued_count
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def session_load(self, session_id: bytes) -> int:
+        return self._session_outstanding.get(session_id, 0)
+
+    def next_completion_us(self) -> float | None:
+        return self._events[0][0] if self._events else None
+
+    def utilization(self) -> float:
+        """Mean fraction of virtual time the HEVM slots spent busy."""
+        if self._now_us <= 0:
+            return 0.0
+        return sum(self._slot_busy_us) / (self._now_us * len(self._slot_busy_us))
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: bytes,
+        payload: Any,
+        *,
+        at_us: float | None = None,
+        priority: int | None = None,
+        deadline_us: float | None = None,
+        device_index: int | None = None,
+    ) -> GatewayRequest:
+        """Submit one bundle; returns its (live) lifecycle record.
+
+        A rejected request comes back with ``status == "rejected"`` and a
+        typed ``reject_reason``; an admitted one completes (or expires)
+        during a later :meth:`advance_until` / :meth:`drain`.
+        """
+        now = self._now_us if at_us is None else at_us
+        if now < self._now_us:
+            raise ValueError("submissions must move forward in virtual time")
+        self._run_events(now)
+        self._now_us = now
+
+        self._sequence += 1
+        if deadline_us is None and self.config.default_deadline_us is not None:
+            deadline_us = now + self.config.default_deadline_us
+        request = GatewayRequest(
+            request_id=self._sequence,
+            session_id=session_id,
+            submitted_at_us=now,
+            priority=self.config.default_priority if priority is None else priority,
+            deadline_us=deadline_us,
+            device_index=device_index,
+            payload=payload,
+        )
+        self.metrics.counter("gateway.submitted").inc()
+
+        reason = self._admission_reason(request)
+        if reason is not None:
+            request.status = RequestStatus.REJECTED
+            request.reject_reason = reason
+            request.finished_at_us = now
+            self.metrics.counter("gateway.rejected").inc()
+            self.metrics.counter(f"gateway.rejected.{reason}").inc()
+            return request
+
+        self.metrics.counter("gateway.admitted").inc()
+        heapq.heappush(self._queue, (request.priority, self._sequence, request))
+        self._queued_count += 1
+        self._session_outstanding[session_id] = self.session_load(session_id) + 1
+        self.metrics.gauge("gateway.queue_depth").set(self._queued_count)
+        self._dispatch()
+        return request
+
+    def cancel(self, request: GatewayRequest) -> bool:
+        """Cancel a still-queued request; running work is never preempted
+        (a dedicated core runs its bundle to completion — §IV isolation)."""
+        if request.status != RequestStatus.QUEUED:
+            return False
+        request.status = RequestStatus.CANCELLED
+        request.finished_at_us = self._now_us
+        self._queued_count -= 1
+        self._release_session(request.session_id)
+        self.metrics.counter("gateway.cancelled").inc()
+        return True
+
+    def _admission_reason(self, request: GatewayRequest) -> str | None:
+        if self._queued_count >= self.config.max_queue_depth:
+            return RejectReason.QUEUE_FULL
+        cap = self.config.max_in_flight_per_session
+        if cap is not None and self.session_load(request.session_id) >= cap:
+            return RejectReason.SESSION_LIMIT
+        if self.admission is not None:
+            return self.admission.admit(request, self)
+        return None
+
+    # ------------------------------------------------------------------
+    # Virtual-time engine
+    # ------------------------------------------------------------------
+
+    def advance_until(self, until_us: float) -> list[GatewayRequest]:
+        """Process completions/expiries up to ``until_us`` of virtual time.
+
+        Returns every request that reached a terminal state since the
+        last call, in the order it got there.
+        """
+        self._run_events(until_us)
+        self._now_us = max(self._now_us, until_us)
+        self._expire_queued()
+        terminal, self._terminal = self._terminal, []
+        return terminal
+
+    def drain(self) -> list[GatewayRequest]:
+        """Run until nothing is queued or in flight."""
+        while self._events:
+            self._run_events(self._events[0][0])
+        terminal, self._terminal = self._terminal, []
+        return terminal
+
+    def _run_events(self, until_us: float) -> None:
+        while self._events and self._events[0][0] <= until_us:
+            finish_us, _, slot, request = heapq.heappop(self._events)
+            self._now_us = max(self._now_us, finish_us)
+            request.status = RequestStatus.COMPLETED
+            request.finished_at_us = finish_us
+            self._free_slots.append(slot)
+            self._in_flight -= 1
+            self._release_session(request.session_id)
+            self.metrics.counter("gateway.completed").inc()
+            self.metrics.histogram("gateway.service_us").observe(request.service_us)
+            self.metrics.histogram("gateway.latency_us").observe(request.latency_us)
+            self._terminal.append(request)
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Move queued requests onto free slots, oldest eligible first."""
+        deferred: list[tuple[int, int, GatewayRequest]] = []
+        while self._queue and self._free_slots:
+            priority, sequence, request = heapq.heappop(self._queue)
+            if request.status != RequestStatus.QUEUED:
+                continue  # cancelled while queued; already accounted
+            if (
+                request.deadline_us is not None
+                and self._now_us > request.deadline_us
+            ):
+                self._expire(request)
+                continue
+            slot = self._take_slot(request.device_index)
+            if slot is None:
+                deferred.append((priority, sequence, request))
+                continue
+            self._queued_count -= 1
+            request.status = RequestStatus.RUNNING
+            request.started_at_us = self._now_us
+            service_us, result = self.executor.execute(request, self._now_us)
+            request.service_us = service_us
+            request.result = result
+            self._slot_busy_us[slot] += service_us
+            self._in_flight += 1
+            self.metrics.histogram("gateway.queue_wait_us").observe(
+                request.queue_wait_us
+            )
+            heapq.heappush(
+                self._events,
+                (self._now_us + service_us, sequence, slot, request),
+            )
+        for entry in deferred:
+            heapq.heappush(self._queue, entry)
+        self.metrics.gauge("gateway.queue_depth").set(self._queued_count)
+
+    def _take_slot(self, device_index: int | None) -> int | None:
+        for position, slot in enumerate(self._free_slots):
+            slot_device = self.executor.slots[slot]
+            if (
+                device_index is None
+                or slot_device is None
+                or slot_device == device_index
+            ):
+                return self._free_slots.pop(position)
+        return None
+
+    def _expire_queued(self) -> None:
+        for _, _, request in list(self._queue):
+            if (
+                request.status == RequestStatus.QUEUED
+                and request.deadline_us is not None
+                and self._now_us > request.deadline_us
+            ):
+                self._expire(request)
+
+    def _expire(self, request: GatewayRequest) -> None:
+        request.status = RequestStatus.EXPIRED
+        request.reject_reason = RejectReason.DEADLINE_EXPIRED
+        request.finished_at_us = self._now_us
+        self._queued_count -= 1
+        self._release_session(request.session_id)
+        self.metrics.counter("gateway.expired").inc()
+        self._terminal.append(request)
+
+    def _release_session(self, session_id: bytes) -> None:
+        remaining = self._session_outstanding.get(session_id, 0) - 1
+        if remaining <= 0:
+            self._session_outstanding.pop(session_id, None)
+        else:
+            self._session_outstanding[session_id] = remaining

@@ -1,0 +1,314 @@
+"""Closed- and open-loop load drivers for the gateway.
+
+The §VI-D question — where does throughput stop scaling? — needs a
+workload *driver*, not just a workload: arrivals must keep coming while
+earlier requests are still queued.  Two canonical drivers:
+
+* **closed loop** — N sessions each keep a fixed number of requests in
+  flight, issuing the next one when the previous completes (think-time
+  optional).  Offered load adapts to capacity, so this traces the
+  saturation *throughput* curve.
+* **open loop** — arrivals fire at their scheduled times regardless of
+  completions (Poisson, uniform, or bursty inter-arrivals), so offered
+  load can exceed capacity.  This is the regime where queues grow, tails
+  stretch, and admission control earns its keep.
+
+All randomness flows from a seeded :class:`~repro.crypto.kdf.Drbg`, and
+all time is the gateway's virtual clock — identically seeded runs
+produce identical per-request latencies and metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.crypto.kdf import Drbg
+from repro.hardware.fleet import TxProfile, full_load_profile
+from repro.hardware.timing import CostModel
+from repro.serving.gateway import Gateway, GatewayRequest, RequestStatus
+
+
+@dataclass
+class LoadSession:
+    """One tenant's identity and payload source."""
+
+    session_id: bytes
+    make_payload: Callable[[int], Any]   # request ordinal -> payload
+    device_index: int | None = None
+    priority: int = 0
+
+
+@dataclass
+class LoadReport:
+    """Everything a bench needs from one driven run."""
+
+    submitted: int
+    completed: int
+    expired: int
+    rejected_by_reason: dict[str, int]
+    duration_us: float
+    outcomes: list[GatewayRequest]
+    metrics: dict[str, float]
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejected_by_reason.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submissions that never ran (rejected or expired)."""
+        if self.submitted == 0:
+            return 0.0
+        return (self.rejected + self.expired) / self.submitted
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return self.completed / (self.duration_us / 1e6)
+
+    def queue_wait_percentile_us(self, p: float) -> float:
+        return self.metrics.get(f"gateway.queue_wait_us.p{int(p)}", 0.0)
+
+    def latency_percentile_us(self, p: float) -> float:
+        return self.metrics.get(f"gateway.latency_us.p{int(p)}", 0.0)
+
+    def summary_lines(self) -> list[str]:
+        waits = [self.queue_wait_percentile_us(p) for p in (50, 95, 99)]
+        lats = [self.latency_percentile_us(p) for p in (50, 95, 99)]
+        lines = [
+            f"submitted {self.submitted}, completed {self.completed}, "
+            f"rejected {self.rejected}, expired {self.expired} "
+            f"(shed rate {self.shed_rate:.1%})",
+            f"throughput {self.throughput_tps:.1f} tx/s over "
+            f"{self.duration_us / 1e6:.2f} s (virtual)",
+            "queue wait p50/p95/p99: "
+            f"{waits[0] / 1000:.2f} / {waits[1] / 1000:.2f} / "
+            f"{waits[2] / 1000:.2f} ms",
+            "latency    p50/p95/p99: "
+            f"{lats[0] / 1000:.2f} / {lats[1] / 1000:.2f} / "
+            f"{lats[2] / 1000:.2f} ms",
+        ]
+        for reason in sorted(self.rejected_by_reason):
+            lines.append(
+                f"  rejected[{reason}]: {self.rejected_by_reason[reason]}"
+            )
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+
+def arrival_times(
+    rate_rps: float,
+    count: int,
+    rng: Drbg,
+    pattern: str = "poisson",
+    burst_len: int = 16,
+) -> Iterator[float]:
+    """Yield ``count`` absolute arrival times (µs) for the pattern.
+
+    ``poisson`` draws exponential gaps; ``uniform`` spaces arrivals
+    evenly; ``bursty`` alternates phases of ``burst_len`` arrivals at 2×
+    and ⅔× the nominal rate (mean gap preserved, variance up).
+    """
+    if rate_rps <= 0:
+        raise ValueError("need a positive arrival rate")
+    if pattern not in ("poisson", "uniform", "bursty"):
+        raise ValueError(f"unknown arrival pattern {pattern!r}")
+    mean_gap = 1e6 / rate_rps
+    now = 0.0
+    for index in range(count):
+        if pattern == "uniform":
+            gap = mean_gap
+        else:
+            u = int.from_bytes(rng.random_bytes(7), "big") / float(1 << 56)
+            gap = -mean_gap * math.log(1.0 - u)
+            if pattern == "bursty":
+                in_burst = (index // burst_len) % 2 == 0
+                gap *= 0.5 if in_burst else 1.5
+        now += gap
+        yield now
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+def run_open_loop(
+    gateway: Gateway,
+    sessions: list[LoadSession],
+    *,
+    rate_rps: float,
+    total_requests: int,
+    seed: int = 1,
+    pattern: str = "poisson",
+    deadline_us: float | None = None,
+) -> LoadReport:
+    """Fire arrivals at their scheduled times, round-robin over sessions."""
+    rng = Drbg(seed.to_bytes(8, "big"), personalization=b"loadgen-open")
+    start_us = gateway.now_us
+    outcomes: list[GatewayRequest] = []
+    ordinals = [0] * len(sessions)
+    for index, at_us in enumerate(
+        arrival_times(rate_rps, total_requests, rng, pattern)
+    ):
+        session = sessions[index % len(sessions)]
+        request = gateway.submit(
+            session.session_id,
+            session.make_payload(ordinals[index % len(sessions)]),
+            at_us=start_us + at_us,
+            priority=session.priority,
+            deadline_us=deadline_us,
+            device_index=session.device_index,
+        )
+        ordinals[index % len(sessions)] += 1
+        if request.status == RequestStatus.REJECTED:
+            outcomes.append(request)
+    outcomes.extend(gateway.drain())
+    return _report(gateway, outcomes, start_us)
+
+
+def run_closed_loop(
+    gateway: Gateway,
+    sessions: list[LoadSession],
+    *,
+    requests_per_session: int,
+    concurrency_per_session: int = 1,
+    think_time_us: float = 0.0,
+    deadline_us: float | None = None,
+) -> LoadReport:
+    """Each session keeps ``concurrency_per_session`` requests in flight.
+
+    A rejection consumes the session's quota like a completion would, so
+    the run always terminates even under an always-shedding policy.
+    """
+    start_us = gateway.now_us
+    by_session = {session.session_id: session for session in sessions}
+    issued = {session.session_id: 0 for session in sessions}
+    outcomes: list[GatewayRequest] = []
+
+    def issue(session: LoadSession, at_us: float) -> None:
+        ordinal = issued[session.session_id]
+        issued[session.session_id] = ordinal + 1
+        request = gateway.submit(
+            session.session_id,
+            session.make_payload(ordinal),
+            at_us=max(at_us, gateway.now_us),
+            priority=session.priority,
+            deadline_us=deadline_us,
+            device_index=session.device_index,
+        )
+        if request.status == RequestStatus.REJECTED:
+            outcomes.append(request)
+            reissue(session, gateway.now_us)
+
+    def reissue(session: LoadSession, finished_at_us: float) -> None:
+        if issued[session.session_id] < requests_per_session:
+            issue(session, finished_at_us + think_time_us)
+
+    for session in sessions:
+        for _ in range(min(concurrency_per_session, requests_per_session)):
+            issue(session, start_us)
+
+    while True:
+        next_at = gateway.next_completion_us()
+        terminal = (
+            gateway.advance_until(next_at)
+            if next_at is not None
+            else gateway.drain()  # flush buffered terminals; runs nothing new
+        )
+        for request in terminal:
+            outcomes.append(request)
+            reissue(by_session[request.session_id], request.finished_at_us)
+        if next_at is None and not terminal and not gateway.in_flight:
+            break  # idle, or queued-but-undispatchable: nothing will finish
+    return _report(gateway, outcomes, start_us)
+
+
+def _report(
+    gateway: Gateway, outcomes: list[GatewayRequest], start_us: float
+) -> LoadReport:
+    snapshot = gateway.metrics.snapshot()
+    rejected: dict[str, int] = {}
+    completed = expired = 0
+    for request in outcomes:
+        if request.status == RequestStatus.COMPLETED:
+            completed += 1
+        elif request.status == RequestStatus.EXPIRED:
+            expired += 1
+        elif request.status == RequestStatus.REJECTED:
+            rejected[request.reject_reason] = (
+                rejected.get(request.reject_reason, 0) + 1
+            )
+    return LoadReport(
+        submitted=len(outcomes),
+        completed=completed,
+        expired=expired,
+        rejected_by_reason=rejected,
+        duration_us=gateway.now_us - start_us,
+        outcomes=outcomes,
+        metrics=snapshot,
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic model-mode workloads (TxProfile shapes, no bytecode)
+# ----------------------------------------------------------------------
+
+def synthetic_profiles(
+    cost: CostModel,
+    kind: str = "full-load",
+    count: int = 8,
+    seed: int = 1,
+) -> list[TxProfile]:
+    """Deterministic ``TxProfile`` sets for model-mode load.
+
+    ``full-load`` repeats the paper's §VI-D saturation shape;
+    ``mixed`` spreads query counts and compute around it, shaped like a
+    real evaluation-set stream (light transfers to heavy call chains).
+    """
+    if kind == "full-load":
+        return [full_load_profile(cost)] * count
+    if kind != "mixed":
+        raise ValueError(f"unknown synthetic workload {kind!r}")
+    rng = Drbg(seed.to_bytes(8, "big"), personalization=b"loadgen-profiles")
+    base = full_load_profile(cost)
+    profiles = []
+    for _ in range(count):
+        queries = 2 + rng.randint(30)
+        gap = base.exec_us / (base.oram_queries + 1)
+        exec_us = gap * (queries + 1) * (0.5 + rng.randint(100) / 100.0)
+        profiles.append(
+            TxProfile(
+                exec_us=exec_us,
+                oram_queries=queries,
+                fixed_us=float(rng.randint(2000)),
+            )
+        )
+    return profiles
+
+
+def model_sessions(
+    session_count: int, profiles: list[TxProfile]
+) -> list[LoadSession]:
+    """Synthetic tenants for :class:`FleetModelExecutor` gateways.
+
+    Session *i* cycles through the profile list starting at offset *i*,
+    so load mixes across tenants without shared mutable state.
+    """
+    sessions = []
+    for index in range(session_count):
+        def make_payload(ordinal: int, offset: int = index) -> TxProfile:
+            return profiles[(offset + ordinal) % len(profiles)]
+
+        sessions.append(
+            LoadSession(
+                session_id=b"tenant-%04d" % index,
+                make_payload=make_payload,
+            )
+        )
+    return sessions

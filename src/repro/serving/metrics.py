@@ -1,0 +1,131 @@
+"""A lightweight, deterministic metrics registry for the serving layer.
+
+The gateway, the load generators, and the fleet model all report into
+one :class:`MetricsRegistry`: counters for admission outcomes,
+histograms for queue wait / service time / end-to-end latency, gauges
+for instantaneous depths.  Everything is exact and in-memory — samples
+are kept, percentiles are computed by nearest-rank on the sorted data —
+so two identically seeded runs produce byte-identical snapshots (the
+reproducibility bar every experiment in this repository meets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """An instantaneous level, with its high-water mark retained."""
+
+    value: float = 0.0
+    peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.peak = max(self.peak, value)
+
+
+@dataclass
+class Histogram:
+    """Exact distribution of observed values (µs, counts, ...)."""
+
+    samples: list[float] = field(default_factory=list)
+    _sorted: bool = True
+
+    def observe(self, value: float) -> None:
+        if self.samples and value < self.samples[-1]:
+            self._sorted = False
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        if not self._sorted:
+            self.samples.sort()
+            self._sorted = True
+        rank = max(1, -(-len(self.samples) * p // 100))  # ceil without floats
+        return self.samples[int(rank) - 1]
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a flat snapshot view."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat, deterministically ordered name→value map.
+
+        Histograms expand to count/mean/p50/p95/p99/max.  Two runs of the
+        same seeded workload must produce equal snapshots — the gateway
+        benchmarks assert exactly that.
+        """
+        out: dict[str, float] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            out[f"{name}"] = gauge.value
+            out[f"{name}.peak"] = gauge.peak
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            out[f"{name}.count"] = float(hist.count)
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.p50"] = hist.percentile(50)
+            out[f"{name}.p95"] = hist.percentile(95)
+            out[f"{name}.p99"] = hist.percentile(99)
+            out[f"{name}.max"] = hist.max
+        return out
+
+    def render(self) -> str:
+        """A human-readable table of the snapshot (for CLI output)."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if value == int(value):
+                lines.append(f"{name:<44} {int(value):>12}")
+            else:
+                lines.append(f"{name:<44} {value:>12.1f}")
+        return "\n".join(lines)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro import rlp
 from repro.crypto.keccak import keccak256
-from repro.state.account import Account, AccountMeta, Address, EMPTY_META
-from repro.state.backend import CODE_PAGE_SIZE, DictBackend
+from repro.state.account import Account, AccountMeta, Address
+from repro.state.backend import DictBackend
 from repro.trie import MerklePatriciaTrie, verify_proof
 from dataclasses import dataclass
 

@@ -62,7 +62,7 @@ def test_struct_traces_match_node_rpc(setup):
     # Compare the node's own replay of an on-chain tx against a direct
     # re-execution — the RPC must be internally consistent first.
     block_number = 2
-    executed = node._block(block_number)
+    executed = node.block_at(block_number)
     for index, tx in enumerate(executed.block.transactions[:3]):
         logs_a, result_a = node.debug_trace_transaction(block_number, index)
         logs_b, result_b = node.debug_trace_transaction(block_number, index)

@@ -1,0 +1,196 @@
+"""Gateway ↔ service integration: functional parity, routing, overload."""
+
+import pytest
+
+from repro.core import (
+    HarDTAPEService,
+    NoIdleHevmError,
+    PreExecutionClient,
+    SecurityFeatures,
+)
+from repro.hypervisor.bundle_codec import (
+    TransactionBundle,
+    decode_trace_report,
+    encode_bundle,
+)
+from repro.serving import (
+    Gateway,
+    GatewayConfig,
+    RejectReason,
+    RequestStatus,
+    ServiceExecutor,
+)
+
+
+def _service(evalset, **kwargs):
+    return HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level("full"),
+        charge_fees=False,
+        **kwargs,
+    )
+
+
+def _connect(service, device=None, seed=b"\x09" * 32):
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=seed
+    )
+    return client, client.connect(service, device)
+
+
+def _sealed_payload(service, session, transactions):
+    """A zero-arg callable sealing the bundle at dispatch time.
+
+    Sealing late keeps the secure channel's strictly increasing nonces
+    aligned with dispatch order (the gateway may reorder submissions).
+    """
+    bundle = TransactionBundle(
+        transactions=tuple(transactions),
+        block_number=service.synced_height,
+    )
+
+    def seal():
+        return session.channel.seal(encode_bundle(bundle))
+
+    return bundle, seal
+
+
+def _open_report(session, bundle, sealed_out):
+    report = decode_trace_report(session.channel.open(sealed_out))
+    assert report.bundle_id == bundle.bundle_id()
+    return report
+
+
+def test_gateway_results_match_direct_path(tiny_evalset):
+    transactions = tiny_evalset.transactions[:4]
+
+    # Direct path: one service, pre_execute each tx.
+    direct_service = _service(tiny_evalset)
+    client, session = _connect(direct_service)
+    direct = [
+        client.pre_execute(direct_service, session, [tx])[0].traces[0]
+        for tx in transactions
+    ]
+
+    # Gateway path: a separate but identically configured service.
+    gw_service = _service(tiny_evalset)
+    device = gw_service.least_loaded_device()
+    device_index = gw_service.devices.index(device)
+    _, gw_session = _connect(gw_service, device)
+    gateway = Gateway(
+        ServiceExecutor(gw_service),
+        # One in flight per session: completion order == submit order,
+        # so the channel's report nonces open in sequence.
+        GatewayConfig(max_in_flight_per_session=1),
+    )
+    via_gateway = []
+    for tx in transactions:
+        bundle, seal = _sealed_payload(gw_service, gw_session, [tx])
+        request = gateway.submit(
+            gw_session.session_id, seal, device_index=device_index
+        )
+        assert request.status != RequestStatus.REJECTED
+        gateway.drain()
+        assert request.status == RequestStatus.COMPLETED
+        report = _open_report(gw_session, bundle, request.result)
+        via_gateway.append(report.traces[0])
+
+    for direct_trace, gateway_trace in zip(direct, via_gateway):
+        assert gateway_trace.status == direct_trace.status
+        assert gateway_trace.gas_used == direct_trace.gas_used
+        assert gateway_trace.return_data == direct_trace.return_data
+
+
+def test_gateway_tracks_service_clock_and_waits(tiny_evalset):
+    service = _service(tiny_evalset)
+    device = service.devices[0]
+    _, session = _connect(service, device)
+    gateway = Gateway(
+        ServiceExecutor(service),
+        GatewayConfig(max_in_flight_per_session=1),
+    )
+    bundle, seal = _sealed_payload(
+        service, session, [tiny_evalset.transactions[0]]
+    )
+    request = gateway.submit(session.session_id, seal, device_index=0)
+    gateway.drain()
+    # Service time is the SimClock delta of the real pipeline.
+    assert request.service_us is not None and request.service_us > 0
+    assert request.latency_us == pytest.approx(request.service_us)
+    snapshot = gateway.metrics.snapshot()
+    assert snapshot["gateway.completed"] == 1.0
+    assert snapshot["gateway.service_us.count"] == 1.0
+
+
+def test_overload_queues_then_sheds_with_typed_reasons(tiny_evalset):
+    service = _service(tiny_evalset)
+    device = service.devices[0]
+    capacity = device.config.hevm_count
+    gateway = Gateway(
+        ServiceExecutor(service),
+        GatewayConfig(max_queue_depth=2, max_in_flight_per_session=1),
+    )
+    sessions = [
+        _connect(service, device, seed=bytes([index + 1]) * 32)[1]
+        for index in range(capacity + 4)
+    ]
+    requests, bundles = [], {}
+    for session in sessions:
+        bundle, seal = _sealed_payload(
+            service, session, [tiny_evalset.transactions[0]]
+        )
+        request = gateway.submit(session.session_id, seal, device_index=0)
+        requests.append((session, request))
+        bundles[request.request_id] = bundle
+
+    statuses = [request.status for _, request in requests]
+    assert statuses.count(RequestStatus.RUNNING) == capacity
+    assert statuses.count(RequestStatus.QUEUED) == 2
+    rejected = [
+        request for _, request in requests
+        if request.status == RequestStatus.REJECTED
+    ]
+    assert len(rejected) == 2
+    assert {request.reject_reason for request in rejected} == {
+        RejectReason.QUEUE_FULL
+    }
+
+    gateway.drain()
+    for session, request in requests:
+        if request.status == RequestStatus.COMPLETED:
+            report = _open_report(
+                session, bundles[request.request_id], request.result
+            )
+            assert report.traces[0].status == 1
+    completed = sum(
+        1 for _, request in requests
+        if request.status == RequestStatus.COMPLETED
+    )
+    assert completed == capacity + 2           # everyone admitted finished
+
+
+def test_pick_device_raises_typed_error_when_saturated(tiny_evalset):
+    service = _service(tiny_evalset)
+    scheduler = service.devices[0].hypervisor.scheduler
+    held = []
+    while service.devices[0].idle_hevms:
+        scheduler.submit(b"hog", 0.0)
+        assignment, _ = scheduler.try_assign(0.0)
+        held.append(assignment)
+    assert service.try_pick_device() is None
+    with pytest.raises(NoIdleHevmError):
+        service.pick_device()
+    scheduler.release(held[0].core)
+    assert service.pick_device() is service.devices[0]
+
+
+def test_queue_depths_reflect_scheduler_state(tiny_evalset):
+    service = _service(tiny_evalset)
+    assert service.queue_depths() == [0]
+    scheduler = service.devices[0].hypervisor.scheduler
+    for _ in range(service.devices[0].config.hevm_count):
+        scheduler.submit(b"hog", 0.0)
+        scheduler.try_assign(0.0)
+    scheduler.submit(b"waiting", 5.0)
+    assert service.queue_depths() == [1]
+    assert scheduler.queued_waits_us(15.0) == [10.0]

@@ -2,13 +2,13 @@
 
 from hypothesis import given, settings, strategies as st
 
-settings.register_profile("crypto", deadline=None)
-settings.load_profile("crypto")
-
 from repro.crypto.aes import AES
 from repro.crypto.gcm import AesGcm
 from repro.crypto.keccak import Keccak256, keccak256
 from repro.crypto.suite import Blake2Aead, xor_bytes
+
+settings.register_profile("crypto", deadline=None)
+settings.load_profile("crypto")
 
 
 @given(st.binary(max_size=512))

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.baselines import GethSimulator, TscVeeSimulator, UnsupportedContractCall
-from repro.evm import ChainContext, execute_transaction
-from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.evm import execute_transaction
+from repro.state import JournaledState, Transaction, to_address
 from repro.workloads.contracts import dex, erc20, honeypot, rollup
 from repro.workloads.contracts.profile import profile_calldata, profile_runtime
 

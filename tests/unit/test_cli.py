@@ -60,3 +60,25 @@ def test_disasm_hex_bytecode(capsys):
 
 def test_disasm_unknown_input(capsys):
     assert main(["disasm", "not-a-contract"]) == 1
+
+
+def test_serve_bench_sweep_and_overload(capsys):
+    assert main([
+        "serve-bench", "--hevms", "2,4", "--requests", "5",
+        "--overload-rate", "3000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "closed-loop sweep" in out
+    assert "server util" in out
+    assert "open-loop overload" in out
+    assert "shed rate" in out
+
+
+def test_serve_bench_without_overload(capsys):
+    assert main([
+        "serve-bench", "--hevms", "2", "--requests", "3",
+        "--workload", "mixed", "--overload-rate", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mixed workload" in out
+    assert "open-loop" not in out

@@ -10,7 +10,6 @@ from repro.crypto.ecc import (
     N,
     Point,
     PrivateKey,
-    PublicKey,
     Signature,
     _point_add,
     _scalar_mul,

@@ -1,12 +1,11 @@
 """CALL-RETURN semantics: subcalls, creates, static contexts, selfdestruct."""
 
-import pytest
 
 from repro import rlp
 from repro.crypto.keccak import keccak256
-from repro.evm import CallTracer, ChainContext, execute_transaction
-from repro.state import DictBackend, JournaledState, Transaction, to_address
-from repro.workloads.asm import assemble, deployer, label, push, push_label
+from repro.evm import CallTracer, execute_transaction
+from repro.state import JournaledState, Transaction, to_address
+from repro.workloads.asm import assemble, deployer, push
 
 from tests.conftest import ALICE
 

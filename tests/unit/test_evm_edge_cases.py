@@ -1,6 +1,5 @@
 """Remaining EVM edge cases: block queries, copies, modular arithmetic."""
 
-import pytest
 
 from repro.evm import ChainContext, execute_transaction
 from repro.state import DictBackend, JournaledState, Transaction, to_address

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.evm import ChainContext, execute_transaction
-from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.evm import execute_transaction
+from repro.state import JournaledState, Transaction, to_address
 from repro.workloads.asm import assemble, push
 
 from tests.conftest import ALICE

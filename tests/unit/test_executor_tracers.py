@@ -3,16 +3,14 @@
 import pytest
 
 from repro.evm import (
-    CallTracer,
     CountingTracer,
-    ChainContext,
     InvalidTransaction,
     MultiTracer,
     StructTracer,
     execute_transaction,
 )
-from repro.evm.precompiles import PRECOMPILES, is_precompile
-from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.evm.precompiles import is_precompile
+from repro.state import JournaledState, Transaction, to_address
 from repro.workloads.asm import assemble, push
 
 from tests.conftest import ALICE, BOB, COINBASE

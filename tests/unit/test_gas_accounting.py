@@ -5,10 +5,9 @@ which the paper's HEVM must reproduce bit-exactly for its traces to
 match a real node — fails loudly.
 """
 
-import pytest
 
-from repro.evm import ChainContext, execute_transaction
-from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.evm import execute_transaction
+from repro.state import JournaledState, Transaction, to_address
 from repro.workloads.asm import assemble, label, push, push_label
 
 from tests.conftest import ALICE

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.state import Account, DictBackend, JournaledState, to_address
+from repro.state import DictBackend, JournaledState, to_address
 
 A = to_address(1)
 B = to_address(2)

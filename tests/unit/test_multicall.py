@@ -3,7 +3,7 @@
 import pytest
 
 from repro.evm import CallTracer, execute_transaction
-from repro.state import DictBackend, JournaledState, Transaction, to_address
+from repro.state import JournaledState, Transaction, to_address
 from repro.workloads.contracts import erc20
 from repro.workloads.contracts.multicall import (
     multicall_calldata,
@@ -100,7 +100,6 @@ def test_mixed_calldata_sizes(setup, chain):
 
 def test_failed_subcall_does_not_stop_batch(setup, chain):
     backend, profiles = setup
-    bogus = to_address(0xDEAD)  # no code: call trivially succeeds
     backend.ensure(TOKEN).storage[erc20.balance_slot(MULTI)] = 10
     calls = [
         (TOKEN, erc20.transfer_calldata(ALICE, 10**9)),  # reverts

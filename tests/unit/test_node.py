@@ -34,7 +34,7 @@ def test_genesis_block(node):
 def test_add_block_advances_chain(node):
     executed = node.add_block([Transaction(sender=ALICE, to=CONTRACT)])
     assert node.height == 1
-    assert executed.block.header.parent_hash == node._block(0).block.block_hash()
+    assert executed.block.header.parent_hash == node.block_at(0).block.block_hash()
     assert executed.results[0].success
     assert executed.post_state.accounts[CONTRACT].storage[0] == 1
 
@@ -50,7 +50,7 @@ def test_blocks_chain_state(node):
 def test_state_roots_differ_per_block(node):
     node.add_block([Transaction(sender=ALICE, to=CONTRACT)])
     node.add_block([Transaction(sender=ALICE, to=CONTRACT)])
-    roots = {node._block(i).block.header.state_root for i in range(3)}
+    roots = {node.block_at(i).block.header.state_root for i in range(3)}
     assert len(roots) == 3
 
 
@@ -98,7 +98,7 @@ def test_debug_trace_bad_index(node):
 def test_get_proof_verifies(node):
     node.add_block([Transaction(sender=ALICE, to=CONTRACT)])
     update = node.get_proof(CONTRACT, [0], 1)
-    root = node._block(1).block.header.state_root
+    root = node.block_at(1).block.header.state_root
     proven = WorldState.verify_account_proof(root, CONTRACT, update.account_proof)
     assert proven is not None
     storage_value = WorldState.verify_storage_proof(
@@ -112,7 +112,7 @@ def test_sync_updates_cover_touched_accounts(node):
     updates = node.sync_updates_for(1)
     addresses = {update.address for update in updates}
     assert {ALICE, CONTRACT} <= addresses
-    root = node._block(1).block.header.state_root
+    root = node.block_at(1).block.header.state_root
     for update in updates:
         proven = WorldState.verify_account_proof(
             root, update.address, update.account_proof
@@ -124,4 +124,4 @@ def test_sync_updates_cover_touched_accounts(node):
 def test_block_hash_lookup_in_chain_context(node):
     node.add_block([])
     context = node.chain_context(node.latest.block.header)
-    assert context.block_hash(0) == node._block(0).block.block_hash()
+    assert context.block_hash(0) == node.block_at(0).block.block_hash()

@@ -126,7 +126,7 @@ def node():
 
 
 def test_node_builds_receipts(node):
-    executed = node._block(2)
+    executed = node.block_at(2)
     assert len(executed.receipts) == 2
     assert executed.receipts[0].status == 1
     # Cumulative gas is monotone.

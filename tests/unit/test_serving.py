@@ -1,0 +1,403 @@
+"""Serving layer: metrics, admission policies, gateway, load drivers."""
+
+import pytest
+
+from repro.hardware.fleet import OramServerLedger, full_load_profile
+from repro.hardware.timing import CostModel
+from repro.crypto.kdf import Drbg
+from repro.serving import (
+    CompositeAdmission,
+    Counter,
+    FleetModelExecutor,
+    Gauge,
+    Gateway,
+    GatewayConfig,
+    GlobalConcurrencyPolicy,
+    Histogram,
+    LoadSession,
+    MetricsRegistry,
+    QueueDepthShedPolicy,
+    RejectReason,
+    RequestStatus,
+    TokenBucketPolicy,
+    arrival_times,
+    model_sessions,
+    run_closed_loop,
+    run_open_loop,
+    synthetic_profiles,
+)
+
+
+class StubExecutor:
+    """Fixed-duration executor: ``slots`` capacity, 100 µs per request."""
+
+    def __init__(self, slot_count=2, service_us=100.0, devices=None):
+        self.slots = devices if devices is not None else [None] * slot_count
+        self.service_us = service_us
+        self.executed = []
+
+    def execute(self, request, start_us):
+        self.executed.append((request.request_id, start_us))
+        return self.service_us, ("ran", request.request_id)
+
+
+# -- metrics --------------------------------------------------------------------------
+
+
+def test_counter_and_gauge():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value == 3.0
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    gauge = Gauge()
+    gauge.set(5)
+    gauge.set(2)
+    assert gauge.value == 2 and gauge.peak == 5
+
+
+def test_histogram_nearest_rank_percentiles():
+    hist = Histogram()
+    for value in range(100, 0, -1):  # reversed: exercises the lazy sort
+        hist.observe(float(value))
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(95) == 95.0
+    assert hist.percentile(99) == 99.0
+    assert hist.percentile(100) == 100.0
+    assert hist.percentile(0) == 1.0
+    assert hist.mean == 50.5
+    assert hist.max == 100.0
+    empty = Histogram()
+    assert empty.percentile(99) == 0.0 and empty.mean == 0.0
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_registry_snapshot_is_flat_sorted_and_stable():
+    registry = MetricsRegistry()
+    registry.counter("b.count").inc()
+    registry.gauge("a.depth").set(3)
+    registry.histogram("c.wait").observe(10.0)
+    snap = registry.snapshot()
+    # Deterministic order: sorted within each kind (counters, gauges,
+    # histograms), so two identical runs produce identical key sequences.
+    assert list(snap)[:1] == ["b.count"]
+    assert snap["b.count"] == 1.0
+    assert snap["a.depth.peak"] == 3.0
+    assert snap["c.wait.p99"] == 10.0
+    assert registry.snapshot() == snap
+    assert "c.wait" in registry.render()
+
+
+# -- admission policies ---------------------------------------------------------------
+
+
+def _gateway(executor=None, **config):
+    executor = executor or StubExecutor()
+    return Gateway(executor, GatewayConfig(**config))
+
+
+def test_token_bucket_refills_in_virtual_time():
+    policy = TokenBucketPolicy(rate_per_s=1000.0, burst=2)
+    gateway = Gateway(
+        StubExecutor(slot_count=8),
+        GatewayConfig(max_in_flight_per_session=8),
+        admission=policy,
+    )
+    a = gateway.submit(b"s", None, at_us=0.0)
+    b = gateway.submit(b"s", None, at_us=0.0)
+    c = gateway.submit(b"s", None, at_us=0.0)   # burst exhausted
+    assert a.status != RequestStatus.REJECTED
+    assert b.status != RequestStatus.REJECTED
+    assert c.status == RequestStatus.REJECTED
+    assert c.reject_reason == RejectReason.RATE_LIMITED
+    # 1000 tokens/s == 1 token per 1000 µs of virtual time.
+    d = gateway.submit(b"s", None, at_us=1000.0)
+    assert d.status != RequestStatus.REJECTED
+    # A different session has its own bucket.
+    e = gateway.submit(b"t", None, at_us=1000.0)
+    assert e.status != RequestStatus.REJECTED
+
+
+def test_global_concurrency_and_shed_policies():
+    gateway = Gateway(
+        StubExecutor(slot_count=1),
+        GatewayConfig(max_in_flight_per_session=16, max_queue_depth=16),
+        admission=CompositeAdmission([
+            GlobalConcurrencyPolicy(max_outstanding=2),
+            QueueDepthShedPolicy(shed_depth=8),
+        ]),
+    )
+    first = gateway.submit(b"s", None)    # runs (1 slot)
+    second = gateway.submit(b"s", None)   # queues
+    third = gateway.submit(b"s", None)    # outstanding == 2 -> reject
+    assert first.status == RequestStatus.RUNNING
+    assert second.status == RequestStatus.QUEUED
+    assert third.reject_reason == RejectReason.CONCURRENCY_LIMIT
+
+    shed_only = Gateway(
+        StubExecutor(slot_count=1),
+        GatewayConfig(max_in_flight_per_session=16, max_queue_depth=16),
+        admission=QueueDepthShedPolicy(shed_depth=1),
+    )
+    shed_only.submit(b"s", None)          # runs
+    shed_only.submit(b"s", None)          # queues (depth 1)
+    shed = shed_only.submit(b"s", None)
+    assert shed.reject_reason == RejectReason.SHED_QUEUE_DEPTH
+
+
+def test_policy_constructor_validation():
+    with pytest.raises(ValueError):
+        TokenBucketPolicy(rate_per_s=0.0, burst=1)
+    with pytest.raises(ValueError):
+        GlobalConcurrencyPolicy(max_outstanding=0)
+    with pytest.raises(ValueError):
+        QueueDepthShedPolicy(shed_depth=0)
+
+
+# -- gateway lifecycle ----------------------------------------------------------------
+
+
+def test_dispatch_runs_immediately_when_slots_free():
+    executor = StubExecutor(slot_count=2)
+    gateway = Gateway(executor)
+    request = gateway.submit(b"s", "payload")
+    assert request.status == RequestStatus.RUNNING
+    assert request.queue_wait_us == 0.0
+    done = gateway.drain()
+    assert done == [request]
+    assert request.status == RequestStatus.COMPLETED
+    assert request.result == ("ran", request.request_id)
+    assert request.latency_us == pytest.approx(100.0)
+
+
+def test_fifo_within_priority_and_priority_preempts_fifo():
+    executor = StubExecutor(slot_count=1)
+    gateway = Gateway(executor, GatewayConfig(max_in_flight_per_session=16))
+    running = gateway.submit(b"s", None)            # occupies the slot
+    low_first = gateway.submit(b"s", None, priority=5)
+    low_second = gateway.submit(b"s", None, priority=5)
+    high = gateway.submit(b"s", None, priority=0)   # submitted last
+    order = [request.request_id for request in gateway.drain()]
+    assert order == [
+        running.request_id, high.request_id,
+        low_first.request_id, low_second.request_id,
+    ]
+
+
+def test_queue_bound_rejects_and_session_cap_rejects():
+    gateway = _gateway(
+        StubExecutor(slot_count=1),
+        max_queue_depth=2, max_in_flight_per_session=2,
+    )
+    gateway.submit(b"a", None)                 # running
+    gateway.submit(b"a", None)                 # queued; session a at cap
+    capped = gateway.submit(b"a", None)
+    assert capped.reject_reason == RejectReason.SESSION_LIMIT
+    gateway.submit(b"b", None)                 # queued; queue full (depth 2)
+    full = gateway.submit(b"c", None)
+    assert full.reject_reason == RejectReason.QUEUE_FULL
+    assert gateway.metrics.counter(
+        f"gateway.rejected.{RejectReason.QUEUE_FULL}"
+    ).value == 1.0
+
+
+def test_deadline_expires_queued_request():
+    gateway = _gateway(StubExecutor(slot_count=1),
+                       max_in_flight_per_session=16)
+    gateway.submit(b"s", None)                              # runs 0..100
+    doomed = gateway.submit(b"s", None, deadline_us=50.0)   # queued
+    survivor = gateway.submit(b"s", None, deadline_us=500.0)
+    terminal = gateway.advance_until(60.0)
+    assert doomed in terminal
+    assert doomed.status == RequestStatus.EXPIRED
+    assert doomed.reject_reason == RejectReason.DEADLINE_EXPIRED
+    gateway.drain()
+    assert survivor.status == RequestStatus.COMPLETED
+    assert gateway.metrics.counter("gateway.expired").value == 1.0
+
+
+def test_default_deadline_applies():
+    gateway = _gateway(StubExecutor(slot_count=1),
+                       max_in_flight_per_session=16,
+                       default_deadline_us=50.0)
+    gateway.submit(b"s", None)
+    queued = gateway.submit(b"s", None)
+    assert queued.deadline_us == 50.0
+    gateway.drain()
+    assert queued.status == RequestStatus.EXPIRED
+
+
+def test_cancel_queued_but_not_running():
+    gateway = _gateway(StubExecutor(slot_count=1),
+                       max_in_flight_per_session=16)
+    running = gateway.submit(b"s", None)
+    queued = gateway.submit(b"s", None)
+    assert gateway.cancel(running) is False
+    assert gateway.cancel(queued) is True
+    assert queued.status == RequestStatus.CANCELLED
+    assert gateway.cancel(queued) is False      # already terminal
+    assert [r.request_id for r in gateway.drain()] == [running.request_id]
+    # The cancelled request released its session slot.
+    assert gateway.session_load(b"s") == 0
+
+
+def test_device_affinity_defers_until_matching_slot_frees():
+    executor = StubExecutor(devices=[0, 1])
+    gateway = Gateway(executor, GatewayConfig(max_in_flight_per_session=16))
+    on_zero = gateway.submit(b"s", None, device_index=0)
+    blocked = gateway.submit(b"s", None, device_index=0)  # dev 1 free, no match
+    assert on_zero.status == RequestStatus.RUNNING
+    assert blocked.status == RequestStatus.QUEUED
+    anywhere = gateway.submit(b"t", None)                 # takes device 1
+    assert anywhere.status == RequestStatus.RUNNING
+    gateway.drain()
+    assert blocked.status == RequestStatus.COMPLETED
+    assert blocked.started_at_us == pytest.approx(100.0)
+
+
+def test_submissions_cannot_move_backwards_in_time():
+    gateway = _gateway()
+    gateway.submit(b"s", None, at_us=100.0)
+    with pytest.raises(ValueError):
+        gateway.submit(b"s", None, at_us=50.0)
+
+
+def test_utilization_and_load_view():
+    executor = StubExecutor(slot_count=2)
+    gateway = Gateway(executor)
+    gateway.submit(b"s", None)
+    assert gateway.capacity == 2
+    assert gateway.in_flight == 1
+    assert gateway.next_completion_us() == pytest.approx(100.0)
+    gateway.drain()
+    assert gateway.utilization() == pytest.approx(0.5)  # 1 of 2 slots busy
+
+
+# -- load drivers ---------------------------------------------------------------------
+
+
+def test_arrival_patterns():
+    rng = Drbg(b"\x01" * 8, personalization=b"test-arrivals")
+    uniform = list(arrival_times(1000.0, 4, rng, "uniform"))
+    assert uniform == pytest.approx([1000.0, 2000.0, 3000.0, 4000.0])
+    rng_a = Drbg(b"\x02" * 8)
+    rng_b = Drbg(b"\x02" * 8)
+    poisson_a = list(arrival_times(1000.0, 50, rng_a, "poisson"))
+    poisson_b = list(arrival_times(1000.0, 50, rng_b, "poisson"))
+    assert poisson_a == poisson_b                    # seeded determinism
+    assert poisson_a == sorted(poisson_a)
+    mean_gap = poisson_a[-1] / len(poisson_a)
+    assert 500.0 < mean_gap < 2000.0                 # ~1000 µs nominal
+    rng_c = Drbg(b"\x03" * 8)
+    bursty = list(arrival_times(1000.0, 64, rng_c, "bursty", burst_len=8))
+    assert len(bursty) == 64 and bursty == sorted(bursty)
+    with pytest.raises(ValueError):
+        list(arrival_times(0.0, 1, rng, "poisson"))
+    with pytest.raises(ValueError):
+        list(arrival_times(1.0, 1, rng, "zipf"))
+
+
+def test_closed_loop_completes_all_requests():
+    gateway = Gateway(StubExecutor(slot_count=2),
+                      GatewayConfig(max_in_flight_per_session=4))
+    sessions = [
+        LoadSession(session_id=b"a", make_payload=lambda i: i),
+        LoadSession(session_id=b"b", make_payload=lambda i: i),
+    ]
+    report = run_closed_loop(gateway, sessions, requests_per_session=5)
+    assert report.submitted == 10
+    assert report.completed == 10
+    assert report.rejected == 0 and report.expired == 0
+    assert report.shed_rate == 0.0
+    assert report.duration_us == pytest.approx(5 * 100.0)
+    assert report.throughput_tps == pytest.approx(10 / (500.0 / 1e6))
+
+
+def test_closed_loop_respects_concurrency_and_think_time():
+    gateway = Gateway(StubExecutor(slot_count=4),
+                      GatewayConfig(max_in_flight_per_session=4))
+    sessions = [LoadSession(session_id=b"a", make_payload=lambda i: i)]
+    report = run_closed_loop(
+        gateway, sessions, requests_per_session=6,
+        concurrency_per_session=2, think_time_us=50.0,
+    )
+    assert report.completed == 6
+    # 2 in flight, 100 µs service, 50 µs think between rounds:
+    # 3 service rounds + 2 think gaps = 400 µs.
+    assert report.duration_us == pytest.approx(400.0)
+
+
+def test_open_loop_sheds_under_overload_with_typed_reasons():
+    gateway = Gateway(
+        StubExecutor(slot_count=1, service_us=1000.0),
+        GatewayConfig(max_queue_depth=2, max_in_flight_per_session=64),
+    )
+    sessions = [LoadSession(session_id=b"a", make_payload=lambda i: i)]
+    report = run_open_loop(
+        gateway, sessions, rate_rps=10_000.0, total_requests=100, seed=5
+    )
+    assert report.submitted == 100
+    assert report.completed + report.rejected + report.expired == 100
+    assert report.rejected > 0
+    assert set(report.rejected_by_reason) <= set(RejectReason.ALL)
+    assert 0.0 < report.shed_rate < 1.0
+
+
+def test_model_executor_runs_fleet_profiles():
+    cost = CostModel(ethernet_rtt_us=0.0)
+    executor = FleetModelExecutor(core_count=2, cost=cost)
+    gateway = Gateway(executor, GatewayConfig(max_in_flight_per_session=4))
+    sessions = model_sessions(2, synthetic_profiles(cost, "full-load"))
+    report = run_closed_loop(gateway, sessions, requests_per_session=3)
+    assert report.completed == 6
+    profile = full_load_profile(cost)
+    # Two cores cannot saturate the server: latency ~= unloaded walk.
+    unloaded = profile.exec_us + profile.oram_queries * cost.oram_server_cpu_us
+    assert report.latency_percentile_us(50) == pytest.approx(unloaded, rel=0.05)
+    with pytest.raises(ValueError):
+        FleetModelExecutor(core_count=0)
+
+
+def test_synthetic_profile_kinds():
+    cost = CostModel()
+    full = synthetic_profiles(cost, "full-load", count=3)
+    assert len(full) == 3 and len({p.oram_queries for p in full}) == 1
+    mixed_a = synthetic_profiles(cost, "mixed", count=6, seed=9)
+    mixed_b = synthetic_profiles(cost, "mixed", count=6, seed=9)
+    assert mixed_a == mixed_b
+    assert len({p.oram_queries for p in mixed_a}) > 1
+    with pytest.raises(ValueError):
+        synthetic_profiles(cost, "nope")
+
+
+# -- the ledger approximation ---------------------------------------------------------
+
+
+def test_ledger_below_capacity_adds_no_wait():
+    ledger = OramServerLedger(service_us=25.0)
+    # Arrivals 1 ms apart: the server is idle each time.
+    assert ledger.serve(0.0) == pytest.approx(25.0)
+    assert ledger.serve(1000.0) == pytest.approx(1025.0)
+    assert ledger.queue_wait_us == pytest.approx(0.0)
+
+
+def test_ledger_over_capacity_cascades():
+    ledger = OramServerLedger(service_us=60.0, bucket_us=100.0)
+    first = ledger.serve(0.0)
+    second = ledger.serve(0.0)   # same instant: bucket overflows forward
+    assert first == pytest.approx(60.0)
+    assert second > first
+    assert ledger.queries_served == 2
+    assert ledger.busy_us == pytest.approx(120.0)
+    assert ledger.queue_wait_us > 0.0
+
+
+def test_ledger_completion_never_beats_service_time():
+    ledger = OramServerLedger(service_us=25.0, bucket_us=100.0)
+    ledger.serve(0.0)
+    # Arrive mid-bucket: earlier committed work must not let this query
+    # finish before arrival + service.
+    completion = ledger.serve(90.0)
+    assert completion >= 90.0 + 25.0

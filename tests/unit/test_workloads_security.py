@@ -75,7 +75,7 @@ def test_evalset_chain_grew(tiny_evalset):
 def test_evalset_transactions_succeed(tiny_evalset):
     # Every generated transaction executed successfully on-chain.
     for block_number in range(2, tiny_evalset.node.height + 1):
-        for result in tiny_evalset.node._block(block_number).results:
+        for result in tiny_evalset.node.block_at(block_number).results:
             assert result.success, result.error
 
 
