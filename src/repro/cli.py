@@ -8,6 +8,7 @@
     python -m repro.cli trace --tx 0        # opcode-level trace of one tx
     python -m repro.cli resources           # the §VI-A area table
     python -m repro.cli serve-bench         # gateway saturation sweep (§VI-D)
+    python -m repro.cli chaos-bench         # fault injection + recovery sweep
 
 Everything runs offline and deterministically.
 """
@@ -245,6 +246,50 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_chaos_bench(args) -> int:
+    from repro.faults import ChaosConfig, run_chaos
+
+    try:
+        rates = [float(token) for token in args.rates.split(",")]
+    except ValueError:
+        print(f"invalid --rates {args.rates!r}: expected comma-separated "
+              "numbers in [0, 1], e.g. 0,0.02,0.05", file=sys.stderr)
+        return 2
+    if any(not 0.0 <= rate <= 1.0 for rate in rates):
+        print(f"invalid --rates {args.rates!r}: fault rates must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if min(args.devices, args.tenants, args.requests) <= 0:
+        print("invalid fleet/load shape: --devices, --tenants and --requests "
+              "must be positive", file=sys.stderr)
+        return 2
+
+    evalset = build_evaluation_set(EvaluationSetConfig(
+        blocks=args.blocks, txs_per_block=args.txs_per_block,
+    ))
+    print(f"chaos sweep: seed={args.seed}, {args.devices} device(s), "
+          f"{args.tenants} tenant(s) x {args.requests} request(s)")
+    for rate in rates:
+        report = run_chaos(
+            ChaosConfig(
+                seed=args.seed,
+                fault_rate=rate,
+                device_count=args.devices,
+                tenants=args.tenants,
+                requests_per_tenant=args.requests,
+            ),
+            evalset,
+        )
+        print()
+        for line in report.summary_lines():
+            print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -302,6 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="open-loop offered load in req/s (0 disables)")
     serve.add_argument("--seed", type=int, default=1)
     serve.set_defaults(func=cmd_serve_bench)
+
+    chaos = sub.add_parser(
+        "chaos-bench",
+        help="drive the gateway under injected faults (repro.faults)",
+    )
+    chaos.add_argument("--rates", default="0,0.02,0.05",
+                       help="comma-separated per-decision fault rates in [0, 1]")
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="fault-plan seed (non-negative, 64-bit)")
+    chaos.add_argument("--devices", type=int, default=2,
+                       help="HarDTAPE devices in the fleet")
+    chaos.add_argument("--tenants", type=int, default=4)
+    chaos.add_argument("--requests", type=int, default=5,
+                       help="requests per tenant (closed loop)")
+    chaos.add_argument("--blocks", type=int, default=2)
+    chaos.add_argument("--txs-per-block", type=int, default=6)
+    chaos.set_defaults(func=cmd_chaos_bench)
     return parser
 
 

@@ -40,6 +40,10 @@ class DeviceConfig:
     oram_height: int = 12
     oram_bucket_size: int = 4
     stash_limit_blocks: int = 1024  # ~1 MB of on-chip stash
+    # Virtual-time budget for one ORAM path read; a server stalling past
+    # it surfaces as a typed OramTimeoutError instead of a hang.  None
+    # absorbs any finite stall (the pre-fault-plane behaviour).
+    oram_response_budget_us: float | None = None
     # §II-C recursion: store the position map in a smaller ORAM instead
     # of fully on-chip (needed at real world-state scale; off by default
     # because the flat map is faster at simulation scale).
@@ -65,6 +69,7 @@ class HarDTAPEDevice:
         config: DeviceConfig | None = None,
         boot_image: BootImage = RELEASE_IMAGE,
         oram_key: bytes | None = None,
+        oram_client: PathOramClient | None = None,
     ) -> None:
         self.config = config or DeviceConfig()
         if self.config.hevm_count > max_hevms()[0]:
@@ -95,22 +100,34 @@ class HarDTAPEDevice:
         need_oram = features.oram_storage or features.oram_code
         if oram_server is not None and need_oram:
             oram_key = oram_key or puf.derive_key(b"oram-key")
-            position_map = None
-            if self.config.recursive_position_map:
-                from repro.oram.recursive import DirectoryPositionMap
+            if oram_client is not None:
+                # Devices of one deployment share the full ORAM trust
+                # state — key, stash, position map, anti-rollback
+                # versions — transferred device-to-device over the same
+                # DHKE channel as the key.  Independent per-device
+                # clients over one tree would desynchronize: one
+                # device's path write-back bumps node versions the
+                # others' AAD checks still expect old, and remapped
+                # blocks vanish from stale position maps.
+                client = oram_client
+            else:
+                position_map = None
+                if self.config.recursive_position_map:
+                    from repro.oram.recursive import DirectoryPositionMap
 
-                position_map = DirectoryPositionMap(
-                    capacity=oram_server.capacity_blocks(),
-                    key=puf.derive_key(b"posmap-key"),
+                    position_map = DirectoryPositionMap(
+                        capacity=oram_server.capacity_blocks(),
+                        key=puf.derive_key(b"posmap-key"),
+                    )
+                client = PathOramClient(
+                    oram_server,
+                    key=oram_key,
+                    block_size=1024,
+                    stash_limit=self.config.stash_limit_blocks,
+                    rng=rng.fork(b"oram"),
+                    position_map=position_map,
+                    response_budget_us=self.config.oram_response_budget_us,
                 )
-            client = PathOramClient(
-                oram_server,
-                key=oram_key,
-                block_size=1024,
-                stash_limit=self.config.stash_limit_blocks,
-                rng=rng.fork(b"oram"),
-                position_map=position_map,
-            )
             self.oram_backend = ObliviousStateBackend(
                 client, clock=lambda: self.clock.now_us
             )

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from repro.crypto.puf import Manufacturer
 from repro.evm.interpreter import ChainContext
 from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
-from repro.hypervisor.hypervisor import SecurityFeatures
+from repro.hypervisor.hypervisor import SecurityFeatures, UnknownSessionError
+from repro.hypervisor.sync import SyncError
 from repro.node.node import EthereumNode
 from repro.oram.server import OramServer
 from repro.core.device import DeviceConfig, HarDTAPEDevice
@@ -37,6 +38,10 @@ class ServiceStats:
     blocks_synced: int = 0
     total_service_time_us: float = 0.0
     per_tx_breakdowns: list[TimeBreakdown] = field(default_factory=list)
+    # Fault-plane observability: re-fetches after a Merkle rejection and
+    # bundles bounced for naming a session this device never opened.
+    sync_retries: int = 0
+    unknown_sessions: int = 0
 
 
 class HarDTAPEService:
@@ -76,6 +81,7 @@ class HarDTAPEService:
         self._synced_state: WorldState = node.state_at(node.height).copy()
         self.devices: list[HarDTAPEDevice] = []
         shared_oram_key: bytes | None = None
+        shared_oram_client = None
         for index in range(device_count):
             device = HarDTAPEDevice(
                 manufacturer=self.manufacturer,
@@ -87,9 +93,15 @@ class HarDTAPEService:
                 cost=self.cost,
                 config=device_config,
                 oram_key=shared_oram_key,
+                # One deployment = one ORAM trust state: the first
+                # device's client (stash, position map, anti-rollback
+                # versions) is shared, like the key, over device DHKE.
+                oram_client=shared_oram_client,
             )
             if shared_oram_key is None:
                 shared_oram_key = device.hypervisor.oram_key
+            if shared_oram_client is None and device.oram_backend is not None:
+                shared_oram_client = device.oram_backend._client
             self.devices.append(device)
         self.synced_height = node.height
         self.stats = ServiceStats()
@@ -110,6 +122,11 @@ class HarDTAPEService:
         assert device.oram_backend is not None
         device.oram_backend.sync_world(self._synced_state.accounts)
 
+    # A stale/forked header from a flaky Node is transient: re-fetching
+    # the canonical block almost always clears it.  Deliberate tampering
+    # is not — after this many rejections we surface the SyncError.
+    SYNC_RETRY_LIMIT = 3
+
     def sync_new_blocks(self) -> int:
         """Verify-and-ingest every block past the synced height."""
         synced = 0
@@ -119,9 +136,16 @@ class HarDTAPEService:
             executed = self.node.block_at(target)
             updates = self.node.sync_updates_for(target)
             if device.oram_backend is not None:
-                device.hypervisor.sync_block(
-                    executed.block.header.state_root, updates
-                )
+                for attempt in range(self.SYNC_RETRY_LIMIT + 1):
+                    try:
+                        device.hypervisor.sync_block(
+                            executed.block.header.state_root, updates
+                        )
+                        break
+                    except SyncError:
+                        if attempt == self.SYNC_RETRY_LIMIT:
+                            raise
+                        self.stats.sync_retries += 1
             # Mirror into the untrusted prefetch/shadow copy.
             for update in updates:
                 self._synced_state.accounts[update.address] = update.account.copy()
@@ -195,12 +219,19 @@ class HarDTAPEService:
     ):
         """Run one bundle; returns (sealed trace, elapsed µs, breakdowns)."""
         start = self.clock.now_us
-        sealed_out, breakdowns, run_stats = device.hypervisor.submit_bundle(
-            session_id,
-            sealed_bundle,
-            self.pending_chain_context(),
-            charge_fees=self.charge_fees,
-        )
+        try:
+            sealed_out, breakdowns, run_stats = device.hypervisor.submit_bundle(
+                session_id,
+                sealed_bundle,
+                self.pending_chain_context(),
+                charge_fees=self.charge_fees,
+            )
+        except UnknownSessionError:
+            # Typed bounce (satellite of the fault plane): the caller
+            # addressed a device this session was never opened on — count
+            # it and let the session owner re-route, nothing to unwind.
+            self.stats.unknown_sessions += 1
+            raise
         elapsed = self.clock.now_us - start
         self.stats.bundles_served += 1
         self.stats.transactions_served += len(breakdowns)

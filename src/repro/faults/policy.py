@@ -1,0 +1,309 @@
+"""Typed, composable recovery policies over the fault plane's errors.
+
+Three building blocks, each deterministic in virtual time:
+
+* :class:`RetryPolicy` — how many attempts a bundle gets and how long
+  (virtual µs, exponential) to back off between them.  Retrying is safe
+  by construction: pre-execution runs on a journaled overlay that is
+  never committed, a failed channel ``open`` never consumes the nonce,
+  and a failed ORAM access leaves the client untouched.
+* :class:`CircuitBreaker` — per-device failure counting; a device that
+  keeps failing is held *open* for a cool-down window so retries go
+  elsewhere instead of hammering a sick component.
+* :class:`ResilientServiceExecutor` — the gateway executor that puts
+  them together: retry with backoff, circuit-break per device, and
+  **fail over** a bundle to another device with an idle HEVM (via the
+  service's ``try_pick_device`` routing) when its home device keeps
+  failing.  A rescue by failover is recorded as a typed
+  :class:`~repro.faults.errors.FailedOverError` outcome in the metrics;
+  exhausted recovery surfaces as
+  :class:`~repro.faults.errors.BundleFailedError` carrying the virtual
+  time the attempts consumed.
+
+Every error the policies recover from is typed (see
+:mod:`repro.faults.errors`); anything untyped propagates loudly — an
+unexpected exception is a bug, not a fault to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.gcm import AuthenticationError
+from repro.faults.errors import (
+    BundleFailedError,
+    ChannelError,
+    CircuitOpenError,
+    DmaDropError,
+    FailedOverError,
+    HevmCrashError,
+    OramTimeoutError,
+)
+
+# The transient, retry-safe failures.  Deliberate-tamper signals that
+# retrying cannot fix (SyncError from a forged proof chain,
+# AttestationError, UnknownSessionError) are intentionally absent.
+RECOVERABLE_ERRORS: tuple[type[Exception], ...] = (
+    ChannelError,          # corrupted/duplicated DMA message (tag/sig/replay)
+    DmaDropError,          # DMA message lost in transit
+    HevmCrashError,        # core died mid-bundle; scrubbed and released
+    OramTimeoutError,      # storage server stalled past the budget
+    AuthenticationError,   # one tampered AEAD blob (transient read corruption)
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff in virtual time."""
+
+    max_attempts: int = 3
+    backoff_us: float = 200.0
+    multiplier: float = 2.0
+    recoverable: tuple[type[Exception], ...] = RECOVERABLE_ERRORS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_us < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must be non-negative, multiplier >= 1")
+
+    def is_recoverable(self, error: Exception) -> bool:
+        return isinstance(error, self.recoverable)
+
+    def backoff_for(self, failures: int) -> float:
+        """Backoff after the ``failures``-th failure (1-based)."""
+        return self.backoff_us * self.multiplier ** (failures - 1)
+
+
+class CircuitBreaker:
+    """Count failures per target; hold the target open past a threshold.
+
+    Closed → open after ``failure_threshold`` consecutive failures; open
+    rejects with :class:`CircuitOpenError` until ``reset_after_us`` of
+    virtual time passes, then one trial call is let through (half-open):
+    success closes the breaker, failure re-opens it for another window.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        failure_threshold: int = 5,
+        reset_after_us: float = 1_000_000.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("need failure_threshold >= 1")
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.reset_after_us = reset_after_us
+        self._consecutive_failures = 0
+        self._open_until_us: float | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open_until_us is not None
+
+    def allow(self, now_us: float) -> None:
+        """Raise :class:`CircuitOpenError` while the cool-down holds."""
+        if self._open_until_us is not None and now_us < self._open_until_us:
+            raise CircuitOpenError(self.target, self._open_until_us)
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until_us = None
+
+    def record_failure(self, now_us: float) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open_until_us = now_us + self.reset_after_us
+
+
+@dataclass
+class RecoveryOutcome:
+    """What recovery did for one bundle (attached to the gateway request)."""
+
+    attempts: int = 0
+    retries: int = 0
+    backoff_us: float = 0.0
+    recovered_errors: list[str] = field(default_factory=list)
+    failover: FailedOverError | None = None
+
+    @property
+    def recovered(self) -> bool:
+        """Did this bundle need (and survive) any recovery at all?"""
+        return bool(self.recovered_errors)
+
+
+class FailoverBundle:
+    """A payload a tenant can run on any device it holds a session on.
+
+    Gateway payloads are normally bound to one session/device; failover
+    needs the *bundle* to be re-sealable for another device's channel.
+    A tenant that attested sessions on several devices wraps them here;
+    ``seal_for`` seals the encoded bundle late (at attempt time) so the
+    per-channel nonces stay strictly increasing across retries.
+    """
+
+    def __init__(self, sessions: dict[int, object], encoded_bundle: bytes) -> None:
+        if not sessions:
+            raise ValueError("need at least one device session")
+        self._sessions = dict(sessions)
+        self._encoded = encoded_bundle
+
+    @property
+    def device_indices(self) -> tuple[int, ...]:
+        return tuple(sorted(self._sessions))
+
+    def session_for(self, device_index: int) -> bytes:
+        return self._sessions[device_index].session_id
+
+    def seal_for(self, device_index: int):
+        session = self._sessions[device_index]
+        if session.device.hypervisor.features.encryption:
+            return session.channel.seal(self._encoded)
+        return self._encoded
+
+    def open_with(self, device_index: int, sealed_out):
+        """Open a trace report produced by ``device_index``'s channel."""
+        session = self._sessions[device_index]
+        if session.device.hypervisor.features.encryption:
+            return session.channel.open(sealed_out)
+        return sealed_out
+
+
+class ResilientServiceExecutor:
+    """A drop-in for :class:`~repro.serving.gateway.ServiceExecutor`
+    that retries, circuit-breaks, and fails over.
+
+    On the happy path it is byte-identical to the plain executor: one
+    ``submit_bundle`` call, service time measured as the SimClock delta,
+    no metrics touched — which is why an armed-but-zero-rate chaos run
+    reproduces the baseline bit-for-bit.  Failures consume virtual time
+    (the failed attempts plus backoff), so a recovered bundle's service
+    time honestly includes its recovery cost.
+    """
+
+    def __init__(
+        self,
+        service,
+        retry: RetryPolicy | None = None,
+        metrics=None,
+        failure_threshold: int = 5,
+        breaker_reset_us: float = 1_000_000.0,
+    ) -> None:
+        self.service = service
+        self.retry = retry or RetryPolicy()
+        self._metrics = metrics
+        self.breakers = {
+            index: CircuitBreaker(
+                f"device{index}", failure_threshold, breaker_reset_us
+            )
+            for index in range(len(service.devices))
+        }
+        self.slots: list[int | None] = []
+        for index, device in enumerate(service.devices):
+            self.slots.extend([index] * device.config.hevm_count)
+
+    # -- one attempt ----------------------------------------------------
+
+    def _run_once(self, request, device_index: int):
+        payload = request.payload
+        if hasattr(payload, "seal_for"):
+            session_id = payload.session_for(device_index)
+            sealed = payload.seal_for(device_index)
+        elif callable(payload):
+            session_id, sealed = request.session_id, payload()
+        else:
+            session_id, sealed = request.session_id, payload
+        device = self.service.devices[device_index]
+        sealed_out, _, _, _ = self.service.submit_bundle(
+            device, session_id, sealed
+        )
+        return sealed_out
+
+    # -- failover routing -----------------------------------------------
+
+    def _failover_target(self, from_index: int, payload) -> int | None:
+        """Another device with an idle HEVM the payload can run on."""
+        if not hasattr(payload, "seal_for"):
+            return None  # single-session payload: nowhere else to go
+        allowed = set(payload.device_indices)
+        picked = self.service.try_pick_device()
+        if picked is not None:
+            index = self.service.devices.index(picked)
+            if index != from_index and index in allowed:
+                return index
+        for index, device in enumerate(self.service.devices):
+            if index != from_index and index in allowed and device.idle_hevms > 0:
+                return index
+        return None
+
+    # -- the executor protocol ------------------------------------------
+
+    def execute(self, request, start_us: float):
+        if request.device_index is None:
+            raise ValueError("service-path requests are session/device bound")
+        clock = self.service.clock
+        attempt_start = clock.now_us
+        outcome = RecoveryOutcome()
+        current = request.device_index
+        last_error: Exception | None = None
+
+        while outcome.attempts < self.retry.max_attempts:
+            outcome.attempts += 1
+            breaker = self.breakers[current]
+            try:
+                breaker.allow(clock.now_us)
+                result = self._run_once(request, current)
+            except CircuitOpenError as error:
+                last_error = error  # not a new device failure: no count
+            except Exception as error:
+                if not self.retry.is_recoverable(error):
+                    raise  # untyped/unrecoverable: a bug, not a fault
+                last_error = error
+                breaker.record_failure(clock.now_us)
+                outcome.recovered_errors.append(type(error).__name__)
+                if self._metrics is not None:
+                    name = type(error).__name__
+                    self._metrics.counter("recovery.errors").inc()
+                    self._metrics.counter(f"recovery.errors.{name}").inc()
+            else:
+                breaker.record_success()
+                request.recovery = outcome
+                if outcome.recovered and self._metrics is not None:
+                    self._metrics.counter("recovery.recovered").inc()
+                return clock.now_us - attempt_start, result
+
+            if outcome.attempts >= self.retry.max_attempts:
+                break
+            backoff = self.retry.backoff_for(outcome.attempts)
+            clock.advance_us(backoff)
+            outcome.backoff_us += backoff
+            outcome.retries += 1
+            if self._metrics is not None:
+                self._metrics.counter("recovery.retries").inc()
+            target = self._failover_target(current, request.payload)
+            if target is not None:
+                assert last_error is not None
+                outcome.failover = FailedOverError(current, target, last_error)
+                if self._metrics is not None:
+                    self._metrics.counter("gateway.failover").inc()
+                    self._metrics.counter(
+                        "faults.outcome.FailedOverError"
+                    ).inc()
+                current = target
+
+        assert last_error is not None
+        request.recovery = outcome
+        raise BundleFailedError(
+            outcome.attempts, last_error, clock.now_us - attempt_start
+        )
+
+
+__all__ = [
+    "RECOVERABLE_ERRORS",
+    "CircuitBreaker",
+    "FailoverBundle",
+    "RecoveryOutcome",
+    "ResilientServiceExecutor",
+    "RetryPolicy",
+]

@@ -344,6 +344,10 @@ class HevmCore:
         self.ws_cache = WorldStateCache()
         self.code_cache = CodeCache()
         self.busy = False
+        # Fault-injection seam (``repro.faults``): called before each
+        # transaction of a bundle with ``(core, txs_completed)``; may
+        # raise a typed crash error to model a mid-bundle HEVM fault.
+        self.fault_hook = None
 
     def reset(self) -> None:
         """Workflow step 10: clear all on-chip memories."""
@@ -382,6 +386,8 @@ class HevmCore:
         state: JournaledState | None = None
         try:
             for tx in transactions:
+                if self.fault_hook is not None:
+                    self.fault_hook(self, len(results))
                 breakdown = TimeBreakdown()
                 backend = HardwareBackend(
                     clock=self.clock,

@@ -74,6 +74,18 @@ class BundleRejected(Exception):
     """Bundle refused at admission (gas policy, §IV-B DoS protection)."""
 
 
+class UnknownSessionError(KeyError):
+    """A bundle arrived for a session id this Hypervisor never established.
+
+    Subclasses :class:`KeyError` for backward compatibility; carries the
+    offending session id so the service layer can log/account it.
+    """
+
+    def __init__(self, session_id: bytes) -> None:
+        super().__init__(f"unknown session {session_id.hex()}")
+        self.session_id = session_id
+
+
 @dataclass
 class Session:
     """One attested user session."""
@@ -128,6 +140,10 @@ class Hypervisor:
         self._rng: Drbg = csu.secure_rng(b"hypervisor")
         self._sessions: dict[bytes, Session] = {}
         self.stats = HypervisorStats()
+        # Fault-injection plane (``repro.faults``): ``None`` in production;
+        # a :class:`~repro.faults.injector.FaultInjector` arms itself here
+        # to exercise the exception paths this firmware is charged with.
+        self.faults = None
         # The shared ORAM key (chosen by the first device of a
         # deployment, or received via device-to-device DHKE).
         self.oram_key = oram_key or self._rng.random_bytes(32)
@@ -151,6 +167,8 @@ class Hypervisor:
         report = build_report(
             self.boot_receipt, self._device_key, session_key, dh_key, user_nonce
         )
+        if self.faults is not None:
+            report = self.faults.on_attestation(report, self.clock.now_us)
         return report, session_key, dh_key
 
     def establish_session(
@@ -202,7 +220,7 @@ class Hypervisor:
         """
         session = self._sessions.get(session_id)
         if session is None:
-            raise KeyError("unknown session")
+            raise UnknownSessionError(session_id)
 
         # Fixed per-bundle path: interrupt, header check, DMA programming,
         # core activation on entry; trace packing and core scrub on exit.
@@ -211,7 +229,17 @@ class Hypervisor:
         # Admit the message: decrypt/verify (or accept plaintext in -raw).
         if self.features.encryption:
             assert isinstance(sealed_bundle, SealedMessage)
+            if self.faults is not None:
+                # The wire between A.E.DMA endpoints: drops surface here,
+                # corruption downstream at the tag/signature check.
+                sealed_bundle = self.faults.on_channel_receive(
+                    sealed_bundle, self.clock.now_us
+                )
             payload = session.channel.open(sealed_bundle)
+            if self.faults is not None:
+                self.faults.after_channel_open(
+                    session.channel, sealed_bundle, self.clock.now_us
+                )
             self._charge_channel_crypto(len(payload), signed=self.features.signatures)
         else:
             assert isinstance(sealed_bundle, (bytes, bytearray))
@@ -233,18 +261,26 @@ class Hypervisor:
         assignment, _ = assigned
         core = assignment.core
 
-        # Steps 4–8: run on the dedicated hardware set.
-        results, breakdowns, run_stats, _ = core.run_bundle(
-            list(bundle.transactions),
-            chain,
-            self._direct_backend,
-            self._oram_backend,
-            storage_via_oram=self.features.oram_storage,
-            code_via_oram=self.features.oram_code,
-            prefetch_enabled=self.features.prefetch,
-            charge_fees=charge_fees,
-            query_padding=self.features.query_padding,
-        )
+        # Steps 4–8: run on the dedicated hardware set.  Exception
+        # handling is this firmware's job: a fault mid-bundle (HEVM
+        # crash, ORAM timeout, AEAD failure on a bucket) must never leak
+        # the core — scrub it and return it to the pool, then let the
+        # typed error propagate to the recovery layer.
+        try:
+            results, breakdowns, run_stats, _ = core.run_bundle(
+                list(bundle.transactions),
+                chain,
+                self._direct_backend,
+                self._oram_backend,
+                storage_via_oram=self.features.oram_storage,
+                code_via_oram=self.features.oram_code,
+                prefetch_enabled=self.features.prefetch,
+                charge_fees=charge_fees,
+                query_padding=self.features.query_padding,
+            )
+        except Exception:
+            self.scheduler.release(core)  # resets (scrubs) the core too
+            raise
 
         report = TraceReport(
             bundle_id=bundle.bundle_id(),

@@ -61,6 +61,10 @@ class BlockSynchronizer:
         self._clock = clock
         self._cost = cost
         self.stats = SyncStats()
+        # Fault-injection seam (``repro.faults``): may substitute a
+        # stale/forked state root for one apply, so the Merkle check
+        # rejects the whole update set (attack A6 exercised on purpose).
+        self.faults = None
 
     def _charge(self, amount_us: float) -> None:
         if self._clock is not None:
@@ -74,6 +78,9 @@ class BlockSynchronizer:
         Raises :class:`SyncError` on the first proof failure, writing
         nothing from the offending update.
         """
+        if self.faults is not None:
+            now = self._clock.now_us if self._clock is not None else 0.0
+            state_root = self.faults.on_sync_root(state_root, now)
         pages = 0
         for update in updates:
             self._verify_update(state_root, update)

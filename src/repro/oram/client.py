@@ -27,12 +27,17 @@ from dataclasses import dataclass, field
 
 from repro.crypto.kdf import Drbg
 from repro.crypto.suite import AeadCipher, Blake2Aead
-from repro.oram.server import OramServer
+from repro.oram.server import OramServer, OramServerStall
 
 BlockKey = bytes
 
 _KIND_DUMMY = 0
 _KIND_REAL = 1
+
+# Hard bound on consecutive absorbed stalls per access: even with no
+# response budget configured the client never loops forever against a
+# permanently stalled server.
+_MAX_STALLS_PER_ACCESS = 16
 
 
 @dataclass
@@ -44,10 +49,31 @@ class ClientStats:
     stash_history: list[int] = field(default_factory=list)
     blocks_encrypted: int = 0
     blocks_decrypted: int = 0
+    stalls_absorbed: int = 0
+    stall_us_absorbed: float = 0.0
+    timeouts: int = 0
 
 
 class StashOverflow(Exception):
     """The stash exceeded its configured on-chip bound."""
+
+
+class OramTimeoutError(Exception):
+    """The server did not answer within the client's virtual-time budget.
+
+    A typed signal (instead of a hang or a generic failure) the
+    Hypervisor's recovery policies can act on: the access that timed out
+    changed no client state — stash, position map, and node versions are
+    exactly as before the access — so a retry is always safe.
+    """
+
+    def __init__(self, budget_us: float | None, waited_us: float) -> None:
+        budget = f"{budget_us:.0f} µs budget" if budget_us is not None else "no budget"
+        super().__init__(
+            f"ORAM server unresponsive: waited {waited_us:.0f} µs ({budget})"
+        )
+        self.budget_us = budget_us
+        self.waited_us = waited_us
 
 
 class PathOramClient:
@@ -68,10 +94,15 @@ class PathOramClient:
         rng: Drbg | None = None,
         cipher_factory=Blake2Aead,
         position_map: "PositionMapLike | None" = None,
+        response_budget_us: float | None = None,
     ) -> None:
         self.server = server
         self.block_size = block_size
         self.stash_limit = stash_limit
+        # Virtual-time budget for one path read: stalls within it are
+        # absorbed (counted in stats), stalls past it raise
+        # :class:`OramTimeoutError`.  ``None`` absorbs any finite stall.
+        self.response_budget_us = response_budget_us
         self._rng = rng or Drbg(key, personalization=b"oram-client")
         self._cipher: AeadCipher = cipher_factory(key)
         self._stash: dict[BlockKey, bytes] = {}
@@ -156,13 +187,22 @@ class PathOramClient:
 
         # Read the path and absorb all real blocks into the stash.  The
         # per-node version AAD makes replayed (stale) buckets fail here.
-        buckets = self.server.read_path(scanned_leaf, sim_time_us)
+        # Absorption is all-or-nothing: blocks only enter the stash after
+        # the *entire* path decrypts, so a tampered bucket anywhere on
+        # the path (AuthenticationError) aborts the access with client
+        # state — stash, position map, node versions — untouched, and a
+        # retry starts from exactly the pre-access state.
+        buckets = self._read_path_within_budget(scanned_leaf, sim_time_us)
+        absorbed: list[tuple[BlockKey, bytes]] = []
         for node, node_blobs in buckets.items():
             aad = self._bucket_aad(node, self._node_versions.get(node, 0))
             for blob in node_blobs:
                 kind, block_key, payload = self._decrypt_slot(blob, aad)
-                if kind == _KIND_REAL and block_key not in self._stash:
-                    self._stash[block_key] = payload
+                if kind == _KIND_REAL:
+                    absorbed.append((block_key, payload))
+        for block_key, payload in absorbed:
+            if block_key not in self._stash:
+                self._stash[block_key] = payload
 
         result = self._stash.get(key)
         if write_data is not None:
@@ -177,6 +217,35 @@ class PathOramClient:
         self._evict(scanned_leaf, sim_time_us)
         self._record_stash()
         return result
+
+    def _read_path_within_budget(
+        self, leaf: int, sim_time_us: float
+    ) -> dict[int, list[bytes]]:
+        """One path read with stall absorption and a timeout bound.
+
+        A stalled server answers nothing; the client re-issues the read
+        after the declared delay until the accumulated wait exceeds the
+        response budget, at which point the access fails with a typed
+        :class:`OramTimeoutError` and no client state has changed.
+        """
+        waited_us = 0.0
+        for _ in range(_MAX_STALLS_PER_ACCESS):
+            try:
+                return self.server.read_path(leaf, sim_time_us + waited_us)
+            except OramServerStall as stall:
+                waited_us += stall.delay_us
+                if (
+                    self.response_budget_us is not None
+                    and waited_us > self.response_budget_us
+                ):
+                    self.stats.timeouts += 1
+                    raise OramTimeoutError(
+                        self.response_budget_us, waited_us
+                    ) from stall
+                self.stats.stalls_absorbed += 1
+                self.stats.stall_us_absorbed += stall.delay_us
+        self.stats.timeouts += 1
+        raise OramTimeoutError(self.response_budget_us, waited_us)
 
     def _evict(self, leaf: int, sim_time_us: float) -> None:
         """Greedy write-back: place stash blocks as deep as possible."""

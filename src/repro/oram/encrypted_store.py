@@ -42,6 +42,10 @@ class EncryptedKvStore:
         self._nonce = 0
         self.trace = EncryptedStoreTrace()
         self._op_index = 0
+        # Fault-injection seam (``repro.faults``): transforms the stored
+        # blob on the read path (e.g. AES-GCM tag corruption), so reads
+        # fail authentication exactly as a tampering SP would cause.
+        self.fault_hook = None
 
     def _handle(self, plain_key: bytes) -> bytes:
         return hashlib.blake2b(plain_key, key=self._handle_key, digest_size=16).digest()
@@ -63,4 +67,6 @@ class EncryptedKvStore:
         blob = self._data.get(handle)
         if blob is None:
             return None
+        if self.fault_hook is not None:
+            blob = self.fault_hook(blob, sim_time_us)
         return self._cipher.decrypt(blob[:12], blob[12:])

@@ -17,6 +17,22 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 
+class OramServerStall(Exception):
+    """The untrusted server did not answer a path read in time.
+
+    Raised by faulty/slow server frontends (see
+    :class:`repro.faults.injector.FaultyOramServer`) instead of blocking:
+    the simulation has no wall clock to hang on, so a stall is a typed
+    signal carrying the virtual-time delay the server would have taken.
+    The client compares the delay against its response budget and either
+    absorbs it or raises :class:`~repro.oram.client.OramTimeoutError`.
+    """
+
+    def __init__(self, delay_us: float) -> None:
+        super().__init__(f"ORAM server stalled for {delay_us:.0f} µs")
+        self.delay_us = delay_us
+
+
 @dataclass
 class PathAccessEvent:
     """What the SP sees for one ORAM access: a physical path, a time."""

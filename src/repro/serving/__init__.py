@@ -17,6 +17,7 @@ from repro.serving.admission import (
 )
 from repro.serving.gateway import (
     BundleExecutor,
+    ExecutionFailure,
     FleetModelExecutor,
     Gateway,
     GatewayConfig,
@@ -40,6 +41,7 @@ __all__ = [
     "BundleExecutor",
     "CompositeAdmission",
     "Counter",
+    "ExecutionFailure",
     "FleetModelExecutor",
     "Gauge",
     "Gateway",

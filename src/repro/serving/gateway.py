@@ -46,6 +46,23 @@ class RequestStatus:
     REJECTED = "rejected"
     EXPIRED = "expired"
     CANCELLED = "cancelled"
+    FAILED = "failed"      # dispatched, but execution (incl. recovery) failed
+
+
+@dataclass(frozen=True)
+class ExecutionFailure:
+    """Typed record of why a dispatched request failed.
+
+    ``error_type`` is the exception the executor surfaced (usually
+    :class:`~repro.faults.errors.BundleFailedError` after recovery ran
+    dry); ``cause_type`` is the innermost typed fault, which is what the
+    per-reason failure metrics key on — every failed request is
+    accounted under the fault that actually sank it, never silently.
+    """
+
+    error_type: str
+    cause_type: str
+    message: str
 
 
 @dataclass
@@ -72,6 +89,10 @@ class GatewayRequest:
     finished_at_us: float | None = None
     service_us: float | None = None
     result: Any = None
+    failure: ExecutionFailure | None = None
+    # Set by recovering executors (``repro.faults.policy``): what retry/
+    # failover did for this request, ``None`` when nothing was needed.
+    recovery: Any = None
 
     @property
     def queue_wait_us(self) -> float | None:
@@ -338,14 +359,25 @@ class Gateway:
         while self._events and self._events[0][0] <= until_us:
             finish_us, _, slot, request = heapq.heappop(self._events)
             self._now_us = max(self._now_us, finish_us)
-            request.status = RequestStatus.COMPLETED
             request.finished_at_us = finish_us
             self._free_slots.append(slot)
             self._in_flight -= 1
             self._release_session(request.session_id)
-            self.metrics.counter("gateway.completed").inc()
-            self.metrics.histogram("gateway.service_us").observe(request.service_us)
-            self.metrics.histogram("gateway.latency_us").observe(request.latency_us)
+            if request.failure is not None:
+                request.status = RequestStatus.FAILED
+                self.metrics.counter("gateway.failed").inc()
+                self.metrics.counter(
+                    f"gateway.failed.{request.failure.cause_type}"
+                ).inc()
+            else:
+                request.status = RequestStatus.COMPLETED
+                self.metrics.counter("gateway.completed").inc()
+                self.metrics.histogram("gateway.service_us").observe(
+                    request.service_us
+                )
+                self.metrics.histogram("gateway.latency_us").observe(
+                    request.latency_us
+                )
             self._terminal.append(request)
             self._dispatch()
 
@@ -369,7 +401,21 @@ class Gateway:
             self._queued_count -= 1
             request.status = RequestStatus.RUNNING
             request.started_at_us = self._now_us
-            service_us, result = self.executor.execute(request, self._now_us)
+            try:
+                service_us, result = self.executor.execute(request, self._now_us)
+            except Exception as exc:
+                # Typed failure: the slot was genuinely occupied for as
+                # long as the attempts took (recovering executors carry
+                # that on the error), and the request terminates FAILED
+                # at its event time — accounted, never silently dropped.
+                service_us = float(getattr(exc, "service_us", 0.0))
+                cause = getattr(exc, "last_error", exc)
+                request.failure = ExecutionFailure(
+                    error_type=type(exc).__name__,
+                    cause_type=type(cause).__name__,
+                    message=str(exc),
+                )
+                result = None
             request.service_us = service_us
             request.result = result
             self._slot_busy_us[slot] += service_us

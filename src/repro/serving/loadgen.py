@@ -21,7 +21,7 @@ produce identical per-request latencies and metrics snapshots.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.crypto.kdf import Drbg
@@ -51,10 +51,22 @@ class LoadReport:
     duration_us: float
     outcomes: list[GatewayRequest]
     metrics: dict[str, float]
+    failed: int = 0
+    # Keyed by the innermost typed fault that sank each request (the
+    # ``cause_type`` of its :class:`~repro.serving.gateway.ExecutionFailure`).
+    failed_by_reason: dict[str, int] = field(default_factory=dict)
 
     @property
     def rejected(self) -> int:
         return sum(self.rejected_by_reason.values())
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of *dispatched* requests that completed (goodput share)."""
+        dispatched = self.completed + self.failed
+        if dispatched == 0:
+            return 0.0
+        return self.completed / dispatched
 
     @property
     def shed_rate(self) -> float:
@@ -80,8 +92,8 @@ class LoadReport:
         lats = [self.latency_percentile_us(p) for p in (50, 95, 99)]
         lines = [
             f"submitted {self.submitted}, completed {self.completed}, "
-            f"rejected {self.rejected}, expired {self.expired} "
-            f"(shed rate {self.shed_rate:.1%})",
+            f"failed {self.failed}, rejected {self.rejected}, "
+            f"expired {self.expired} (shed rate {self.shed_rate:.1%})",
             f"throughput {self.throughput_tps:.1f} tx/s over "
             f"{self.duration_us / 1e6:.2f} s (virtual)",
             "queue wait p50/p95/p99: "
@@ -94,6 +106,10 @@ class LoadReport:
         for reason in sorted(self.rejected_by_reason):
             lines.append(
                 f"  rejected[{reason}]: {self.rejected_by_reason[reason]}"
+            )
+        for reason in sorted(self.failed_by_reason):
+            lines.append(
+                f"  failed[{reason}]: {self.failed_by_reason[reason]}"
             )
         return lines
 
@@ -234,12 +250,17 @@ def _report(
 ) -> LoadReport:
     snapshot = gateway.metrics.snapshot()
     rejected: dict[str, int] = {}
-    completed = expired = 0
+    failed_by_reason: dict[str, int] = {}
+    completed = expired = failed = 0
     for request in outcomes:
         if request.status == RequestStatus.COMPLETED:
             completed += 1
         elif request.status == RequestStatus.EXPIRED:
             expired += 1
+        elif request.status == RequestStatus.FAILED:
+            failed += 1
+            reason = request.failure.cause_type
+            failed_by_reason[reason] = failed_by_reason.get(reason, 0) + 1
         elif request.status == RequestStatus.REJECTED:
             rejected[request.reject_reason] = (
                 rejected.get(request.reject_reason, 0) + 1
@@ -252,6 +273,8 @@ def _report(
         duration_us=gateway.now_us - start_us,
         outcomes=outcomes,
         metrics=snapshot,
+        failed=failed,
+        failed_by_reason=failed_by_reason,
     )
 
 

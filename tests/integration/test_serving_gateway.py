@@ -1,4 +1,5 @@
-"""Gateway ↔ service integration: functional parity, routing, overload."""
+"""Gateway ↔ service integration: functional parity, routing, overload,
+and typed failure recovery (retry, failover, exhausted attempts)."""
 
 import pytest
 
@@ -8,14 +9,25 @@ from repro.core import (
     PreExecutionClient,
     SecurityFeatures,
 )
+from repro.faults import (
+    FailoverBundle,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResilientServiceExecutor,
+    RetryPolicy,
+)
 from repro.hypervisor.bundle_codec import (
     TransactionBundle,
     decode_trace_report,
     encode_bundle,
 )
+from repro.hypervisor.hypervisor import UnknownSessionError
 from repro.serving import (
     Gateway,
     GatewayConfig,
+    MetricsRegistry,
     RejectReason,
     RequestStatus,
     ServiceExecutor,
@@ -182,6 +194,103 @@ def test_pick_device_raises_typed_error_when_saturated(tiny_evalset):
         service.pick_device()
     scheduler.release(held[0].core)
     assert service.pick_device() is service.devices[0]
+
+
+def test_unknown_session_bounces_with_typed_error(tiny_evalset):
+    service = _service(tiny_evalset)
+    _, session = _connect(service)
+    bundle = TransactionBundle(
+        transactions=(tiny_evalset.transactions[0],),
+        block_number=service.synced_height,
+    )
+    sealed = session.channel.seal(encode_bundle(bundle))
+    bogus = b"\x00" * len(session.session_id)
+    with pytest.raises(UnknownSessionError) as excinfo:
+        service.submit_bundle(service.devices[0], bogus, sealed)
+    assert bogus.hex() in str(excinfo.value)
+    assert isinstance(excinfo.value, KeyError)  # compat with old handlers
+    assert service.stats.unknown_sessions == 1
+    assert service.stats.bundles_served == 0
+
+
+def test_failover_redispatches_crashed_bundle_to_other_device(tiny_evalset):
+    service = _service(tiny_evalset, device_count=2)
+    client = PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=b"\x21" * 32
+    )
+    # The tenant attests a session on every device so its bundle can run
+    # anywhere; the payload re-seals per attempt for the target channel.
+    sessions = {
+        index: client.connect(service, device)
+        for index, device in enumerate(service.devices)
+    }
+    metrics = MetricsRegistry()
+    # The very first transaction start crashes its core — exactly once.
+    plan = FaultPlan(5, [FaultRule(FaultKind.HEVM_CRASH, rate=1.0, max_fires=1)])
+    FaultInjector(plan, metrics).arm_service(service)
+
+    gateway = Gateway(
+        ResilientServiceExecutor(service, metrics=metrics),
+        GatewayConfig(max_in_flight_per_session=1),
+        metrics=metrics,
+    )
+    bundle = TransactionBundle(
+        transactions=(tiny_evalset.transactions[0],),
+        block_number=service.synced_height,
+    )
+    payload = FailoverBundle(sessions, encode_bundle(bundle))
+    request = gateway.submit(sessions[0].session_id, payload, device_index=0)
+    gateway.drain()
+
+    assert request.status == RequestStatus.COMPLETED
+    recovery = request.recovery
+    assert recovery.attempts == 2
+    assert recovery.recovered_errors == ["HevmCrashError"]
+    assert recovery.failover is not None
+    assert recovery.failover.from_device == 0
+    assert recovery.failover.to_device == 1
+    # The trace opens under the channel of the device that finished it.
+    report = decode_trace_report(payload.open_with(1, request.result))
+    assert report.bundle_id == bundle.bundle_id()
+    assert report.traces[0].status == 1
+
+    snapshot = metrics.snapshot()
+    assert snapshot["faults.injected.hevm-crash"] == 1.0
+    assert snapshot["recovery.errors.HevmCrashError"] == 1.0
+    assert snapshot["recovery.recovered"] == 1.0
+    assert snapshot["gateway.failover"] == 1.0
+    assert snapshot["faults.outcome.FailedOverError"] == 1.0
+    assert snapshot["gateway.completed"] == 1.0
+
+
+def test_exhausted_recovery_surfaces_typed_gateway_failure(tiny_evalset):
+    service = _service(tiny_evalset)  # one device: nowhere to fail over
+    _, session = _connect(service)
+    metrics = MetricsRegistry()
+    plan = FaultPlan(6, [FaultRule(FaultKind.HEVM_CRASH, rate=1.0)])
+    FaultInjector(plan, metrics).arm_service(service)
+    gateway = Gateway(
+        ResilientServiceExecutor(
+            service,
+            retry=RetryPolicy(max_attempts=2, backoff_us=50.0),
+            metrics=metrics,
+        ),
+        GatewayConfig(max_in_flight_per_session=1),
+        metrics=metrics,
+    )
+    _, seal = _sealed_payload(service, session, [tiny_evalset.transactions[0]])
+    request = gateway.submit(session.session_id, seal, device_index=0)
+    gateway.drain()
+
+    assert request.status == RequestStatus.FAILED
+    assert request.failure is not None
+    assert request.failure.error_type == "BundleFailedError"
+    assert request.failure.cause_type == "HevmCrashError"
+    assert request.recovery.attempts == 2
+    snapshot = metrics.snapshot()
+    assert snapshot["gateway.failed"] == 1.0
+    assert snapshot["gateway.failed.HevmCrashError"] == 1.0
+    assert snapshot.get("gateway.completed", 0.0) == 0.0
 
 
 def test_queue_depths_reflect_scheduler_state(tiny_evalset):

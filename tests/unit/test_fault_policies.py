@@ -1,0 +1,87 @@
+"""Recovery policies in isolation: retry, breaker, failover payloads."""
+
+import pytest
+
+from repro.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DmaDropError,
+    FailoverBundle,
+    RecoveryOutcome,
+    RetryPolicy,
+    SyncError,
+)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_us=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+def test_backoff_grows_exponentially():
+    policy = RetryPolicy(max_attempts=4, backoff_us=100.0, multiplier=2.0)
+    assert [policy.backoff_for(n) for n in (1, 2, 3)] == [100.0, 200.0, 400.0]
+
+
+def test_recoverable_classification():
+    policy = RetryPolicy()
+    assert policy.is_recoverable(DmaDropError("lost in transit"))
+    # Deliberate-tamper signals and plain bugs are not retried.
+    assert not policy.is_recoverable(SyncError("forged proof chain"))
+    assert not policy.is_recoverable(RuntimeError("a bug, not a fault"))
+
+
+def test_breaker_opens_after_threshold_then_half_opens():
+    breaker = CircuitBreaker("device0", failure_threshold=3, reset_after_us=1_000.0)
+    for _ in range(2):
+        breaker.record_failure(0.0)
+    assert not breaker.is_open
+    breaker.allow(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.is_open
+    with pytest.raises(CircuitOpenError) as excinfo:
+        breaker.allow(500.0)
+    assert excinfo.value.target == "device0"
+    # Cool-down elapsed: the trial call goes through (half-open)...
+    breaker.allow(1_000.0)
+    # ...failing it re-opens for a fresh window...
+    breaker.record_failure(1_000.0)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow(1_500.0)
+    # ...and a success closes it fully.
+    breaker.allow(2_000.0)
+    breaker.record_success()
+    assert not breaker.is_open
+    breaker.allow(0.0)
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", failure_threshold=0)
+
+
+def test_recovery_outcome_recovered_property():
+    outcome = RecoveryOutcome()
+    assert not outcome.recovered
+    outcome.recovered_errors.append("DmaDropError")
+    assert outcome.recovered
+
+
+class _FakeSession:
+    def __init__(self, session_id: bytes) -> None:
+        self.session_id = session_id
+
+
+def test_failover_bundle_validation_and_indexing():
+    with pytest.raises(ValueError):
+        FailoverBundle({}, b"bundle")
+    bundle = FailoverBundle(
+        {2: _FakeSession(b"b"), 0: _FakeSession(b"a")}, b"bundle"
+    )
+    assert bundle.device_indices == (0, 2)
+    assert bundle.session_for(2) == b"b"
+    assert bundle.session_for(0) == b"a"

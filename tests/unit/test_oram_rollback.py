@@ -1,10 +1,18 @@
-"""ORAM integrity hardening: tamper and rollback detection."""
+"""ORAM integrity hardening: tamper and rollback detection.
+
+The second half drives the same client against *injected* mid-access
+server failures (``repro.faults``): stalls past the response budget and
+transient tag corruption.  The property under test is atomicity — a
+failed access must leave the client's trust state (stash, position map,
+anti-rollback versions) exactly as it was, so a retry is always safe.
+"""
 
 import pytest
 
 from repro.crypto.gcm import AuthenticationError
 from repro.crypto.kdf import Drbg
-from repro.oram.client import PathOramClient
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultRule, FaultyOramServer
+from repro.oram.client import OramTimeoutError, PathOramClient
 from repro.oram.server import OramServer
 
 
@@ -70,3 +78,94 @@ def test_honest_server_unaffected(oram):
     for i in range(10):
         value = client.read(b"key%d" % i)
         assert value is not None
+
+
+# ----------------------------------------------------------------------
+# Injected mid-access server failures (repro.faults)
+# ----------------------------------------------------------------------
+
+
+def _client_state(client):
+    """The trust state a failed access must leave untouched."""
+    return (
+        dict(client._stash),
+        dict(client._positions._map),
+        dict(client._node_versions),
+    )
+
+
+def _armed(server, rule, seed=11):
+    return FaultyOramServer(server, FaultInjector(FaultPlan(seed, [rule])))
+
+
+def test_injected_stall_past_budget_times_out_atomically():
+    server = OramServer(height=5)
+    client = PathOramClient(
+        server, key=b"k" * 32, block_size=64, rng=Drbg(b"r"),
+        response_budget_us=10_000.0,
+    )
+    client.write(b"key", b"value")
+    before = _client_state(client)
+    # Two 8 ms stalls against a 10 ms budget: the first is absorbed, the
+    # second pushes the accumulated wait past the budget.
+    client.server = _armed(
+        server,
+        FaultRule(FaultKind.ORAM_STALL, rate=1.0, max_fires=2, stall_us=8_000.0),
+    )
+    with pytest.raises(OramTimeoutError) as excinfo:
+        client.read(b"key")
+    assert excinfo.value.budget_us == 10_000.0
+    assert excinfo.value.waited_us == 16_000.0
+    assert client.stats.stalls_absorbed == 1
+    assert client.stats.timeouts == 1
+    # The timed-out access changed nothing...
+    assert _client_state(client) == before
+    # ...so with the fault budget exhausted the plain retry succeeds.
+    assert client.read(b"key").rstrip(b"\x00") == b"value"
+
+
+def test_injected_stall_within_budget_is_absorbed():
+    server = OramServer(height=5)
+    client = PathOramClient(
+        server, key=b"k" * 32, block_size=64, rng=Drbg(b"r"),
+        response_budget_us=50_000.0,
+    )
+    client.write(b"key", b"value")
+    client.server = _armed(
+        server,
+        FaultRule(FaultKind.ORAM_STALL, rate=1.0, max_fires=1, stall_us=8_000.0),
+    )
+    assert client.read(b"key").rstrip(b"\x00") == b"value"
+    assert client.stats.stalls_absorbed == 1
+    assert client.stats.stall_us_absorbed == 8_000.0
+    assert client.stats.timeouts == 0
+
+
+def test_injected_tag_corruption_aborts_access_atomically():
+    server = OramServer(height=5)
+    client = PathOramClient(server, key=b"k" * 32, block_size=64, rng=Drbg(b"r"))
+    for i in range(8):
+        client.write(b"key%d" % i, b"v%d" % i)
+    before = _client_state(client)
+    client.server = _armed(
+        server, FaultRule(FaultKind.ORAM_TAG_CORRUPT, rate=1.0, max_fires=1)
+    )
+    with pytest.raises(AuthenticationError):
+        client.read(b"key0")
+    # Absorption is all-or-nothing: the corrupt path left no partial
+    # stash/position/version state behind.
+    assert _client_state(client) == before
+    # The corruption hit the returned copy only (a transient bus error,
+    # not stored damage), so the retry reads the true value.
+    assert client.read(b"key0").rstrip(b"\x00") == b"v0"
+
+
+def test_faulty_wrapper_is_transparent_at_zero_rate(oram):
+    server, client = oram
+    client.write(b"key", b"value")
+    plan = FaultPlan(11, [FaultRule(FaultKind.ORAM_STALL, rate=0.0)])
+    client.server = FaultyOramServer(server, FaultInjector(plan))
+    assert client.read(b"key").rstrip(b"\x00") == b"value"
+    # Zero-rate rules never even draw: the baseline stays bit-for-bit.
+    assert plan.decisions(FaultKind.ORAM_STALL) == 0
+    assert plan.total_injected == 0
