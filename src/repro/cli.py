@@ -9,6 +9,7 @@
     python -m repro.cli resources           # the §VI-A area table
     python -m repro.cli serve-bench         # gateway saturation sweep (§VI-D)
     python -m repro.cli chaos-bench         # fault injection + recovery sweep
+    python -m repro.cli trace-bench         # traced run + critical-path table
 
 Everything runs offline and deterministically.
 """
@@ -290,6 +291,68 @@ def cmd_chaos_bench(args) -> int:
     return 0
 
 
+def cmd_trace_bench(args) -> int:
+    import json
+
+    from repro.telemetry.bench import TraceBenchConfig, run_trace_bench
+
+    if not 0.0 <= args.sample_rate <= 1.0:
+        print(f"invalid --sample-rate {args.sample_rate}: must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    if min(args.devices, args.tenants, args.requests) <= 0:
+        print("invalid fleet/load shape: --devices, --tenants and --requests "
+              "must be positive", file=sys.stderr)
+        return 2
+
+    evalset = build_evaluation_set(EvaluationSetConfig(
+        blocks=args.blocks, txs_per_block=args.txs_per_block,
+    ))
+    config = TraceBenchConfig(
+        seed=args.seed,
+        sample_rate=args.sample_rate,
+        device_count=args.devices,
+        tenants=args.tenants,
+        requests_per_tenant=args.requests,
+    )
+    report = run_trace_bench(config, evalset)
+    for line in report.summary_lines():
+        print(line)
+
+    failures = 0
+    for row in report.reconciliation:
+        if abs(row.delta_us) > config.tolerance_us:
+            print(f"RECONCILIATION FAILED: {row.name} traced "
+                  f"{row.traced_us} µs vs model {row.model_us} µs "
+                  f"(tolerance {config.tolerance_us} µs)", file=sys.stderr)
+            failures += 1
+
+    # The export must parse back and the run must reproduce byte for byte.
+    json.loads(report.chrome_json)
+    if not args.skip_determinism_check:
+        rerun = run_trace_bench(config, evalset)
+        if (rerun.chrome_json != report.chrome_json
+                or rerun.prometheus_text != report.prometheus_text):
+            print("DETERMINISM FAILED: identically seeded re-run produced "
+                  "different export bytes", file=sys.stderr)
+            failures += 1
+        else:
+            print("\ndeterminism: re-run byte-identical "
+                  f"({len(report.chrome_json)} trace bytes, "
+                  f"{len(report.prometheus_text)} metrics bytes)")
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            handle.write(report.chrome_json)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              "(load in Perfetto or chrome://tracing)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(report.prometheus_text)
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -364,6 +427,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--blocks", type=int, default=2)
     chaos.add_argument("--txs-per-block", type=int, default=6)
     chaos.set_defaults(func=cmd_chaos_bench)
+
+    trace_bench = sub.add_parser(
+        "trace-bench",
+        help="traced gateway run + critical-path attribution (repro.telemetry)",
+    )
+    trace_bench.add_argument("--seed", type=int, default=7,
+                             help="sampler seed (trace is byte-reproducible)")
+    trace_bench.add_argument("--sample-rate", type=float, default=1.0,
+                             help="fraction of requests to trace, in [0, 1]")
+    trace_bench.add_argument("--devices", type=int, default=2,
+                             help="HarDTAPE devices in the fleet")
+    trace_bench.add_argument("--tenants", type=int, default=3)
+    trace_bench.add_argument("--requests", type=int, default=4,
+                             help="requests per tenant (closed loop)")
+    trace_bench.add_argument("--blocks", type=int, default=2)
+    trace_bench.add_argument("--txs-per-block", type=int, default=6)
+    trace_bench.add_argument("--trace-out", default="",
+                             help="write the Chrome trace JSON here")
+    trace_bench.add_argument("--metrics-out", default="",
+                             help="write the Prometheus text exposition here")
+    trace_bench.add_argument("--skip-determinism-check", action="store_true",
+                             help="skip the byte-identity re-run")
+    trace_bench.set_defaults(func=cmd_trace_bench)
     return parser
 
 

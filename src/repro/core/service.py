@@ -18,6 +18,7 @@ from repro.hypervisor.hypervisor import SecurityFeatures, UnknownSessionError
 from repro.hypervisor.sync import SyncError
 from repro.node.node import EthereumNode
 from repro.oram.server import OramServer
+from repro.telemetry.tracer import tracer_for
 from repro.core.device import DeviceConfig, HarDTAPEDevice
 from repro.state.blocks import BlockHeader
 from repro.state.world import WorldState
@@ -219,19 +220,28 @@ class HarDTAPEService:
     ):
         """Run one bundle; returns (sealed trace, elapsed µs, breakdowns)."""
         start = self.clock.now_us
-        try:
-            sealed_out, breakdowns, run_stats = device.hypervisor.submit_bundle(
-                session_id,
-                sealed_bundle,
-                self.pending_chain_context(),
-                charge_fees=self.charge_fees,
-            )
-        except UnknownSessionError:
-            # Typed bounce (satellite of the fault plane): the caller
-            # addressed a device this session was never opened on — count
-            # it and let the session owner re-route, nothing to unwind.
-            self.stats.unknown_sessions += 1
-            raise
+        tracer = tracer_for(self.clock)
+        with tracer.span(
+            "service.bundle",
+            "service",
+            session=session_id.hex(),
+            device=device.serial.decode("ascii", "replace"),
+        ) as span:
+            try:
+                sealed_out, breakdowns, run_stats = device.hypervisor.submit_bundle(
+                    session_id,
+                    sealed_bundle,
+                    self.pending_chain_context(),
+                    charge_fees=self.charge_fees,
+                )
+            except UnknownSessionError:
+                # Typed bounce (satellite of the fault plane): the caller
+                # addressed a device this session was never opened on — count
+                # it and let the session owner re-route, nothing to unwind.
+                self.stats.unknown_sessions += 1
+                span.set(error="UnknownSessionError")
+                raise
+            span.set(transactions=len(breakdowns), aborted=run_stats.aborted)
         elapsed = self.clock.now_us - start
         self.stats.bundles_served += 1
         self.stats.transactions_served += len(breakdowns)

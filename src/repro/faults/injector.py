@@ -98,7 +98,7 @@ class FaultInjector:
         self.plan.record(kind, site, now_us, detail)
         if self._metrics is not None:
             self._metrics.counter("faults.injected").inc()
-            self._metrics.counter(f"faults.injected.{kind}").inc()
+            self._metrics.counter("faults.injected", kind=kind).inc()
 
     # -- arming ---------------------------------------------------------
 
@@ -180,7 +180,9 @@ class FaultInjector:
                     "duplicate delivery rejected by replay protection",
                 )
                 if self._metrics is not None:
-                    self._metrics.counter("faults.absorbed.dma-duplicate").inc()
+                    self._metrics.counter(
+                        "faults.absorbed", kind=FaultKind.DMA_DUPLICATE
+                    ).inc()
             else:  # pragma: no cover - would be a replay-protection hole
                 raise AssertionError(
                     "duplicated channel message was accepted twice"

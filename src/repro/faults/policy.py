@@ -39,6 +39,7 @@ from repro.faults.errors import (
     HevmCrashError,
     OramTimeoutError,
 )
+from repro.telemetry.tracer import tracer_for
 
 # The transient, retry-safe failures.  Deliberate-tamper signals that
 # retrying cannot fix (SyncError from a forged proof chain,
@@ -243,6 +244,14 @@ class ResilientServiceExecutor:
         if request.device_index is None:
             raise ValueError("service-path requests are session/device bound")
         clock = self.service.clock
+        tracer = tracer_for(clock)
+        # Bridge gateway time onto the device clock for every span the
+        # attempts (and backoffs) below record.
+        with tracer.shifted(start_us - clock.now_us):
+            return self._execute_traced(request, tracer)
+
+    def _execute_traced(self, request, tracer):
+        clock = self.service.clock
         attempt_start = clock.now_us
         outcome = RecoveryOutcome()
         current = request.device_index
@@ -262,10 +271,21 @@ class ResilientServiceExecutor:
                 last_error = error
                 breaker.record_failure(clock.now_us)
                 outcome.recovered_errors.append(type(error).__name__)
+                name = type(error).__name__
                 if self._metrics is not None:
-                    name = type(error).__name__
                     self._metrics.counter("recovery.errors").inc()
-                    self._metrics.counter(f"recovery.errors.{name}").inc()
+                    self._metrics.counter("recovery.errors", error=name).inc()
+                active = tracer.active
+                if active is not None:
+                    # The active span is gateway-domain (shift 0); the
+                    # event is timed on the device clock, so pre-shift.
+                    active.event(
+                        "fault",
+                        clock.now_us + tracer.shift_us,
+                        error=name,
+                        attempt=outcome.attempts,
+                        device=current,
+                    )
             else:
                 breaker.record_success()
                 request.recovery = outcome
@@ -276,6 +296,9 @@ class ResilientServiceExecutor:
             if outcome.attempts >= self.retry.max_attempts:
                 break
             backoff = self.retry.backoff_for(outcome.attempts)
+            tracer.record(
+                "recovery.backoff", "recovery", backoff, attempt=outcome.attempts
+            )
             clock.advance_us(backoff)
             outcome.backoff_us += backoff
             outcome.retries += 1
@@ -288,8 +311,16 @@ class ResilientServiceExecutor:
                 if self._metrics is not None:
                     self._metrics.counter("gateway.failover").inc()
                     self._metrics.counter(
-                        "faults.outcome.FailedOverError"
+                        "faults.outcome", outcome="FailedOverError"
                     ).inc()
+                active = tracer.active
+                if active is not None:
+                    active.event(
+                        "failover",
+                        clock.now_us + tracer.shift_us,
+                        from_device=current,
+                        to_device=target,
+                    )
                 current = target
 
         assert last_error is not None

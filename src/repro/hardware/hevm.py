@@ -31,7 +31,13 @@ from repro.crypto.kdf import Drbg
 from repro.evm import opcodes
 from repro.evm.executor import TransactionResult, execute_transaction
 from repro.evm.interpreter import ChainContext
-from repro.evm.tracer import CallTracer, MultiTracer, StructTracer, Tracer
+from repro.evm.tracer import (
+    CallTracer,
+    CountingTracer,
+    MultiTracer,
+    StructTracer,
+    Tracer,
+)
 from repro.hardware.memory_layers import (
     CodeCache,
     Layer2CallStack,
@@ -45,6 +51,7 @@ from repro.state.account import AccountMeta, Address
 from repro.state.backend import CODE_PAGE_SIZE, StateBackend
 from repro.state.blocks import Transaction
 from repro.state.journal import JournaledState
+from repro.telemetry.tracer import NULL_TRACER, tracer_for
 
 # Fixed per-frame layer-2 baseline: 32 KB stack + 1 KB frame state.
 FRAME_BASE_BYTES = 33 * 1024
@@ -81,8 +88,10 @@ class HardwareBackend(StateBackend):
         stats: HevmRunStats,
         pacing_rng: Drbg | None = None,
         pacing_max_us: float = 120.0,
+        span_tracer=None,
     ) -> None:
         self._clock = clock
+        self._tracer = NULL_TRACER if span_tracer is None else span_tracer
         self._cost = cost
         self._oram = oram_backend
         self._direct = direct_backend
@@ -108,6 +117,7 @@ class HardwareBackend(StateBackend):
         """
         if self._pacing_rng is not None:
             dt = self._pacing_rng.randint(int(self._pacing_max_us) + 1)
+            self._tracer.record("oram.pace", "other", float(dt))
             self._clock.advance_us(float(dt))
             self._breakdown.other_us += float(dt)
 
@@ -120,6 +130,15 @@ class HardwareBackend(StateBackend):
 
     def _charge_oram(self, kind: str) -> None:
         cost = self._cost.exception_handling_us + self._oram_cost_us()
+        layer = "oram_code" if kind == "code" else "oram_storage"
+        span = self._tracer.record("oram.access", layer, cost, kind=kind)
+        if self._tracer.enabled and self._oram is not None:
+            last = self._oram._client.last_access
+            span.set(
+                stalls=last.stalls_absorbed,
+                stall_us=last.stall_us,
+                stash_blocks=last.stash_blocks,
+            )
         self._clock.advance_us(cost)
         if kind == "code":
             self._breakdown.oram_code_us += cost
@@ -133,6 +152,7 @@ class HardwareBackend(StateBackend):
             self._cost.exception_handling_us
             + self._cost.dma_us_per_kb * max(size_bytes, 64) / 1024.0
         )
+        self._tracer.record("dma.direct", "other", cost, bytes=size_bytes)
         self._clock.advance_us(cost)
         self._breakdown.other_us += cost
         self._stats.direct_queries += 1
@@ -143,14 +163,29 @@ class HardwareBackend(StateBackend):
             return
         self._prefetcher.on_query(self._clock.now_us)
         for entry in self._prefetcher.due(self._clock.now_us):
-            self._issue_prefetch(entry.address, entry.page_index, entry.fire_time_us)
+            self._issue_prefetch(entry)
 
-    def _issue_prefetch(self, address: Address, page_index: int, at_us: float) -> None:
+    def _issue_prefetch(self, entry) -> None:
         assert self._oram is not None
-        self._clock.advance_to(at_us)
+        # The wait until the entry's randomized fire time is dead time,
+        # not an ORAM cost: it gets its own "idle" span so the execution
+        # bucket still reconciles exactly with the breakdown.
+        stall = entry.fire_time_us - self._clock.now_us
+        if stall > 0:
+            self._tracer.record("prefetch.wait", "idle", stall)
+        self._clock.advance_to(entry.fire_time_us)
         self._pace()
-        self._oram.prefetch_code_page(address, page_index)
+        self._oram.prefetch_code_page(entry.address, entry.page_index)
         cost = self._oram_cost_us()
+        self._tracer.record(
+            "oram.access",
+            "oram_code",
+            cost,
+            kind="code",
+            prefetch=True,
+            page=entry.page_index,
+            reason=entry.reason,
+        )
         self._clock.advance_us(cost)
         self._breakdown.oram_code_us += cost
         self._stats.oram_queries += 1
@@ -160,7 +195,7 @@ class HardwareBackend(StateBackend):
         if self._prefetcher is None or self._oram is None:
             return
         for entry in self._prefetcher.drain(self._clock.now_us):
-            self._issue_prefetch(entry.address, entry.page_index, entry.fire_time_us)
+            self._issue_prefetch(entry)
 
     # -- StateBackend ------------------------------------------------------
 
@@ -262,12 +297,14 @@ class HardwareTracer(Tracer):
         l2: Layer2CallStack,
         breakdown: TimeBreakdown,
         spill_page_cost_us: float | None = None,
+        span_tracer=None,
     ) -> None:
         self._clock = clock
         self._cost = cost
         self._l2 = l2
         self._breakdown = breakdown
         self._spill_page_cost_us = spill_page_cost_us
+        self._tracer = NULL_TRACER if span_tracer is None else span_tracer
         self._frame_memory: list[int] = []
 
     def on_step(self, frame, opcode: int) -> None:
@@ -305,6 +342,14 @@ class HardwareTracer(Tracer):
                 dt = self._spill_page_cost_us * event.page_count
             else:
                 dt = self._cost.page_swap_us(event.page_count)
+            self._tracer.record(
+                "l2.swap",
+                "swap",
+                dt,
+                direction=event.direction,
+                pages=event.page_count,
+                real_pages=event.real_pages,
+            )
             self._clock.advance_us(dt)
             self._breakdown.swap_us += dt
 
@@ -376,6 +421,7 @@ class HevmCore:
         """
         self.busy = True
         stats = HevmRunStats()
+        span_tracer = tracer_for(self.clock)
         prefetcher = None
         if prefetch_enabled and code_via_oram and oram_backend is not None:
             prefetcher = CodePrefetcher(self._rng.fork(b"prefetch"))
@@ -384,10 +430,9 @@ class HevmCore:
         struct_traces: list = []
         backend: HardwareBackend | None = None
         state: JournaledState | None = None
+        tx_span = None
         try:
             for tx in transactions:
-                if self.fault_hook is not None:
-                    self.fault_hook(self, len(results))
                 breakdown = TimeBreakdown()
                 backend = HardwareBackend(
                     clock=self.clock,
@@ -410,6 +455,7 @@ class HevmCore:
                         and oram_backend is not None
                         else None
                     ),
+                    span_tracer=span_tracer,
                 )
                 if state is None:
                     state = JournaledState(backend)
@@ -421,6 +467,7 @@ class HevmCore:
                 hw_tracer = HardwareTracer(
                     self.clock, self.cost, self.l2, breakdown,
                     spill_page_cost_us=spill_cost,
+                    span_tracer=span_tracer,
                 )
                 tracers: list[Tracer] = [hw_tracer]
                 struct = StructTracer() if struct_trace else None
@@ -428,14 +475,40 @@ class HevmCore:
                     tracers.append(struct)
                 call_tracer = CallTracer()
                 tracers.append(call_tracer)
-                result = execute_transaction(
-                    state,
-                    chain,
-                    tx,
-                    tracer=MultiTracer(*tracers),
-                    charge_fees=charge_fees,
-                )
-                backend.drain_prefetches()
+                # Opcode-group tallies for the span; pure counting, no
+                # clock or state effects, so results stay identical.
+                counting = CountingTracer() if span_tracer.enabled else None
+                if counting is not None:
+                    tracers.append(counting)
+                hits_before = stats.l1_ws_hits
+                misses_before = stats.l1_ws_misses
+                oram_before = stats.oram_queries
+                direct_before = stats.direct_queries
+                with span_tracer.span(
+                    "hevm.tx", "execution", core=self.core_id, index=len(results)
+                ) as tx_span:
+                    if self.fault_hook is not None:
+                        self.fault_hook(self, len(results))
+                    result = execute_transaction(
+                        state,
+                        chain,
+                        tx,
+                        tracer=MultiTracer(*tracers),
+                        charge_fees=charge_fees,
+                    )
+                    backend.drain_prefetches()
+                if counting is not None:
+                    tx_span.set(
+                        status=result.status,
+                        gas_used=result.gas_used,
+                        instructions=counting.counts.instructions,
+                        opcode_groups=dict(sorted(counting.counts.by_group.items())),
+                        l1_hits=stats.l1_ws_hits - hits_before,
+                        l1_misses=stats.l1_ws_misses - misses_before,
+                        oram_queries=stats.oram_queries - oram_before,
+                        direct_queries=stats.direct_queries - direct_before,
+                        l2_peak_pages=self.l2.stats.peak_pages_used,
+                    )
                 stats.breakdown.add(breakdown)
                 results.append(result)
                 breakdowns.append(breakdown)
@@ -443,6 +516,8 @@ class HevmCore:
         except MemoryOverflowError as exc:
             stats.aborted = True
             stats.abort_reason = str(exc)
+            if tx_span is not None:
+                tx_span.set(aborted=True, abort_reason=stats.abort_reason)
         finally:
             if backend is not None:
                 backend.drain_prefetches()
@@ -464,6 +539,7 @@ class HevmCore:
                         oram_backend._client.server.bucket_size,
                         oram_backend._client.block_size / 1024.0,
                     )
+                    span_tracer.record("oram.pad", "other", cost_us, kind="padding")
                     self.clock.advance_us(cost_us)
                     pad_breakdown.other_us += cost_us
                     stats.oram_queries += 1

@@ -64,6 +64,7 @@ class L2Stats:
     pages_swapped_in: int = 0
     noise_pages: int = 0
     peak_pages_used: int = 0
+    peak_frame_depth: int = 0
     swap_events: list[SwapEvent] = field(default_factory=list)
 
 
@@ -138,6 +139,9 @@ class Layer2CallStack:
         self._frame_spilled_pages.append(spilled)
         self._frame_resident.append(True)
         self.stats.frames_pushed += 1
+        self.stats.peak_frame_depth = max(
+            self.stats.peak_frame_depth, len(self._frame_pages)
+        )
         return events + self._make_room(sim_time_us)
 
     def expand_current(self, new_total_bytes: int, sim_time_us: float = 0.0) -> list[SwapEvent]:

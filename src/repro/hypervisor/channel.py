@@ -37,6 +37,16 @@ class SealedMessage:
         return size
 
 
+@dataclass
+class ChannelStats:
+    """Per-endpoint wire accounting (telemetry span attributes read it)."""
+
+    messages_sealed: int = 0
+    messages_opened: int = 0
+    bytes_sealed: int = 0
+    bytes_opened: int = 0
+
+
 class SecureChannel:
     """One endpoint of the bidirectional channel."""
 
@@ -57,6 +67,7 @@ class SecureChannel:
         # increasing.  AES-GCM authenticates contents but not freshness;
         # without this check the SP could re-submit an old bundle.
         self._highest_received = 0
+        self.stats = ChannelStats()
 
     def seal(self, plaintext: bytes, aad: bytes = b"") -> SealedMessage:
         """Encrypt (and sign) an outgoing message."""
@@ -67,7 +78,10 @@ class SecureChannel:
         if self.sign_messages:
             assert self._own_signing_key is not None
             signature = self._own_signing_key.sign(keccak256(nonce + ciphertext))
-        return SealedMessage(nonce, ciphertext, signature)
+        sealed = SealedMessage(nonce, ciphertext, signature)
+        self.stats.messages_sealed += 1
+        self.stats.bytes_sealed += sealed.wire_size
+        return sealed
 
     def open(self, message: SealedMessage, aad: bytes = b"") -> bytes:
         """Verify and decrypt an incoming message."""
@@ -93,4 +107,6 @@ class SecureChannel:
         except AuthenticationError as exc:
             raise ChannelError("message tampered or wrong key") from exc
         self._highest_received = counter
+        self.stats.messages_opened += 1
+        self.stats.bytes_opened += message.wire_size
         return plaintext

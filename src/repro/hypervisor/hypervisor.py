@@ -36,6 +36,7 @@ from repro.hypervisor.scheduler import HevmScheduler
 from repro.hypervisor.sync import BlockSynchronizer
 from repro.oram.adapter import ObliviousStateBackend
 from repro.state.backend import StateBackend
+from repro.telemetry.tracer import tracer_for
 
 
 @dataclass
@@ -128,7 +129,7 @@ class Hypervisor:
         )
         self.clock = clock
         self.cost = cost
-        self.scheduler = HevmScheduler(cores)
+        self.scheduler = HevmScheduler(cores, clock=clock)
         self._direct_backend = direct_backend
         self._oram_backend = oram_backend
         self.features = features
@@ -163,6 +164,9 @@ class Hypervisor:
         """Produce the signed report plus the fresh session/DH keys."""
         session_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
         dh_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
+        tracer_for(self.clock).record(
+            "attestation.report", "session", self.cost.attestation_us
+        )
         self.clock.advance_us(self.cost.attestation_us)
         report = build_report(
             self.boot_receipt, self._device_key, session_key, dh_key, user_nonce
@@ -186,6 +190,7 @@ class Hypervisor:
             + user_session_public.to_bytes()
         )
         aes_key = derive_session_key(dh_key, user_dh_public, transcript)
+        tracer_for(self.clock).record("session.dhke", "session", self.cost.dhke_us)
         self.clock.advance_us(self.cost.dhke_us)
         session_id = hashlib.sha256(b"session" + transcript).digest()[:16]
         self._sessions[session_id] = Session(
@@ -221,9 +226,11 @@ class Hypervisor:
         session = self._sessions.get(session_id)
         if session is None:
             raise UnknownSessionError(session_id)
+        tracer = tracer_for(self.clock)
 
         # Fixed per-bundle path: interrupt, header check, DMA programming,
         # core activation on entry; trace packing and core scrub on exit.
+        tracer.record("bundle.admission", "hypervisor", self.cost.bundle_admission_us)
         self.clock.advance_us(self.cost.bundle_admission_us)
 
         # Admit the message: decrypt/verify (or accept plaintext in -raw).
@@ -240,11 +247,22 @@ class Hypervisor:
                 self.faults.after_channel_open(
                     session.channel, sealed_bundle, self.clock.now_us
                 )
-            self._charge_channel_crypto(len(payload), signed=self.features.signatures)
+            self._charge_channel_crypto(
+                len(payload),
+                signed=self.features.signatures,
+                direction="open",
+                channel=session.channel,
+            )
         else:
             assert isinstance(sealed_bundle, (bytes, bytearray))
             payload = bytes(sealed_bundle)
         bundle = decode_bundle(payload)
+        active = tracer.active
+        if active is not None:
+            active.set(
+                bundle=bundle.bundle_id().hex()[:16],
+                transactions=len(bundle.transactions),
+            )
 
         if self.max_bundle_gas is not None:
             requested = sum(tx.gas_limit for tx in bundle.transactions)
@@ -293,7 +311,12 @@ class Hypervisor:
         # Step 9: seal and send the trace.
         if self.features.encryption:
             sealed_out: SealedMessage | bytes = session.channel.seal(encoded)
-            self._charge_channel_crypto(len(encoded), signed=self.features.signatures)
+            self._charge_channel_crypto(
+                len(encoded),
+                signed=self.features.signatures,
+                direction="seal",
+                channel=session.channel,
+            )
         else:
             sealed_out = encoded
 
@@ -304,12 +327,37 @@ class Hypervisor:
         self.stats.transactions_executed += len(results)
         return sealed_out, breakdowns, run_stats
 
-    def _charge_channel_crypto(self, size_bytes: int, signed: bool) -> None:
-        dt = self.cost.channel_seal_us(size_bytes)
+    def _charge_channel_crypto(
+        self, size_bytes: int, signed: bool, direction: str = "seal", channel=None
+    ) -> None:
+        # AEAD and signature are charged as separate advances so each
+        # gets its own span on its own attribution layer; the split is
+        # unconditional, keeping traced and untraced runs identical.
+        tracer = tracer_for(self.clock)
+        seal_us = self.cost.channel_seal_us(size_bytes)
+        span = tracer.record(
+            f"channel.{direction}", "encryption", seal_us, bytes=size_bytes
+        )
+        if channel is not None and tracer.enabled:
+            opened = direction == "open"
+            span.set(
+                session_messages=(
+                    channel.stats.messages_opened
+                    if opened
+                    else channel.stats.messages_sealed
+                ),
+                session_wire_bytes=(
+                    channel.stats.bytes_opened if opened else channel.stats.bytes_sealed
+                ),
+            )
+        self.clock.advance_us(seal_us)
+        dt = seal_us
         if signed:
             # One sign or one verify per direction per bundle.
+            name = "channel.verify" if direction == "open" else "channel.sign"
+            tracer.record(name, "signature", self.cost.ecdsa_sign_us)
+            self.clock.advance_us(self.cost.ecdsa_sign_us)
             dt += self.cost.ecdsa_sign_us
-        self.clock.advance_us(dt)
         self.stats.crypto_time_us += dt
 
     # ------------------------------------------------------------------
@@ -319,7 +367,10 @@ class Hypervisor:
     def sync_block(self, state_root: bytes, updates) -> int:
         if self.synchronizer is None:
             return 0
-        return self.synchronizer.apply_block(state_root, updates)
+        with tracer_for(self.clock).span("sync.block", "sync") as span:
+            applied = self.synchronizer.apply_block(state_root, updates)
+            span.set(updates=applied)
+        return applied
 
     # ------------------------------------------------------------------
     # ORAM key hand-off between devices

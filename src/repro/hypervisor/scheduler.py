@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.hardware.hevm import HevmCore
+from repro.telemetry.tracer import tracer_for
 
 
 class SchedulingError(Exception):
@@ -50,12 +51,15 @@ class SchedulerStats:
 class HevmScheduler:
     """FIFO queue over a fixed pool of dedicated cores."""
 
-    def __init__(self, cores: list[HevmCore]) -> None:
+    def __init__(self, cores: list[HevmCore], clock=None) -> None:
         self._cores = cores
         self._idle: deque[HevmCore] = deque(cores)
         self._queue: deque[tuple[bytes, float, Any]] = deque()
         self._assignments: dict[int, Assignment] = {}
         self.stats = SchedulerStats()
+        # Dispatch decisions cost no virtual time; the clock is only for
+        # tracer lookup so assignments appear as (zero-width) spans.
+        self._clock = clock
 
     @property
     def idle_count(self) -> int:
@@ -98,6 +102,15 @@ class HevmScheduler:
         wait = now_us - queued_at
         self.stats.total_queue_wait_us += wait
         self.stats.max_queue_wait_us = max(self.stats.max_queue_wait_us, wait)
+        tracer_for(self._clock).record(
+            "scheduler.assign",
+            "hypervisor",
+            0.0,
+            start_us=now_us,
+            core=core.core_id,
+            queue_wait_us=wait,
+            queue_depth=len(self._queue),
+        )
         return assignment, payload
 
     def release(self, core: HevmCore) -> None:

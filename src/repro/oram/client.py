@@ -54,6 +54,19 @@ class ClientStats:
     timeouts: int = 0
 
 
+@dataclass
+class AccessSummary:
+    """What the most recent :meth:`PathOramClient.access` cost.
+
+    A cheap rolling record for the telemetry plane: span attributes read
+    it right after an access without diffing cumulative stats.
+    """
+
+    stalls_absorbed: int = 0
+    stall_us: float = 0.0
+    stash_blocks: int = 0
+
+
 class StashOverflow(Exception):
     """The stash exceeded its configured on-chip bound."""
 
@@ -113,6 +126,7 @@ class PathOramClient:
             position_map if position_map is not None else DictPositionMap()
         )
         self.stats = ClientStats()
+        self.last_access = AccessSummary()
         # Pre-fill the tree with dummies so the shape is uniform from
         # the first access.
         self._initialize_tree()
@@ -179,6 +193,8 @@ class PathOramClient:
         path write regardless of the outcome.
         """
         self.stats.accesses += 1
+        stalls_before = self.stats.stalls_absorbed
+        stall_us_before = self.stats.stall_us_absorbed
         leaf_count = self.server.leaf_count
 
         old_leaf = self._positions.get(key)
@@ -216,6 +232,11 @@ class PathOramClient:
 
         self._evict(scanned_leaf, sim_time_us)
         self._record_stash()
+        self.last_access = AccessSummary(
+            stalls_absorbed=self.stats.stalls_absorbed - stalls_before,
+            stall_us=self.stats.stall_us_absorbed - stall_us_before,
+            stash_blocks=len(self._stash),
+        )
         return result
 
     def _read_path_within_budget(

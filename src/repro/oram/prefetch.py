@@ -23,11 +23,17 @@ from repro.state.account import Address
 
 @dataclass
 class PrefetchPlanEntry:
-    """One scheduled prefetch: which page, at what simulated time."""
+    """One scheduled prefetch: which page, at what simulated time.
+
+    ``reason`` records how the entry fired — ``"timer"`` for the normal
+    interval-timer path, ``"drain"`` for a stall-stream flush — so the
+    telemetry plane can label prefetch noise without re-deriving it.
+    """
 
     address: Address
     page_index: int
     fire_time_us: float
+    reason: str = "timer"
 
 
 class CodePrefetcher:
@@ -116,7 +122,7 @@ class CodePrefetcher:
         time_cursor = now_us
         while self._pending:
             address, page_index = self._pending.popleft()
-            entry = PrefetchPlanEntry(address, page_index, time_cursor)
+            entry = PrefetchPlanEntry(address, page_index, time_cursor, reason="drain")
             fired.append(entry)
             self.issued.append(entry)
             time_cursor += spacing

@@ -35,6 +35,7 @@ from repro.hardware.fleet import OramServerLedger, profile_finish_us
 from repro.hardware.timing import CostModel
 from repro.serving.admission import AdmissionPolicy, RejectReason
 from repro.serving.metrics import MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, TraceContext, Tracer, tracer_for
 
 
 class RequestStatus:
@@ -93,6 +94,9 @@ class GatewayRequest:
     # Set by recovering executors (``repro.faults.policy``): what retry/
     # failover did for this request, ``None`` when nothing was needed.
     recovery: Any = None
+    # Per-request span handles; ``None`` when tracing is off or the
+    # request was not sampled.
+    trace: TraceContext | None = None
 
     @property
     def queue_wait_us(self) -> float | None:
@@ -149,9 +153,13 @@ class ServiceExecutor:
             raise ValueError("service-path requests are session/device bound")
         payload = request.payload() if callable(request.payload) else request.payload
         device = self.service.devices[request.device_index]
-        sealed_out, elapsed, _breakdowns, _run_stats = self.service.submit_bundle(
-            device, request.session_id, payload
-        )
+        # Bridge clock domains: spans recorded on the device SimClock are
+        # shifted so they render inside this request's gateway interval.
+        tracer = tracer_for(self.service.clock)
+        with tracer.shifted(start_us - self.service.clock.now_us):
+            sealed_out, elapsed, _breakdowns, _run_stats = self.service.submit_bundle(
+                device, request.session_id, payload
+            )
         return elapsed, sealed_out
 
 
@@ -203,11 +211,13 @@ class Gateway:
         config: GatewayConfig | None = None,
         admission: AdmissionPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.executor = executor
         self.config = config or GatewayConfig()
         self.admission = admission
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._now_us = 0.0
         self._sequence = 0
         # (priority, sequence, request): FIFO within a priority level.
@@ -292,6 +302,20 @@ class Gateway:
             payload=payload,
         )
         self.metrics.counter("gateway.submitted").inc()
+        # One sampling draw per submission, in submission order, so the
+        # sampled set depends only on (seed, rate) — never on outcomes.
+        if self.tracer.enabled and self.tracer.sample():
+            root = self.tracer.start_span(
+                "gateway.request",
+                "request",
+                start_us=now,
+                attributes={
+                    "request_id": request.request_id,
+                    "session": session_id.hex(),
+                    "priority": request.priority,
+                },
+            )
+            request.trace = TraceContext(root=root)
 
         reason = self._admission_reason(request)
         if reason is not None:
@@ -299,10 +323,20 @@ class Gateway:
             request.reject_reason = reason
             request.finished_at_us = now
             self.metrics.counter("gateway.rejected").inc()
-            self.metrics.counter(f"gateway.rejected.{reason}").inc()
+            self.metrics.counter("gateway.rejected", reason=reason).inc()
+            if request.trace is not None:
+                request.trace.root.set(status=request.status, reject_reason=reason)
+                self.tracer.end_span(request.trace.root, now)
             return request
 
         self.metrics.counter("gateway.admitted").inc()
+        if request.trace is not None:
+            request.trace.queue = self.tracer.start_span(
+                "gateway.queue",
+                "queueing",
+                start_us=now,
+                parent=request.trace.root,
+            )
         heapq.heappush(self._queue, (request.priority, self._sequence, request))
         self._queued_count += 1
         self._session_outstanding[session_id] = self.session_load(session_id) + 1
@@ -320,6 +354,7 @@ class Gateway:
         self._queued_count -= 1
         self._release_session(request.session_id)
         self.metrics.counter("gateway.cancelled").inc()
+        self._close_trace(request)
         return True
 
     def _admission_reason(self, request: GatewayRequest) -> str | None:
@@ -367,7 +402,7 @@ class Gateway:
                 request.status = RequestStatus.FAILED
                 self.metrics.counter("gateway.failed").inc()
                 self.metrics.counter(
-                    f"gateway.failed.{request.failure.cause_type}"
+                    "gateway.failed", cause=request.failure.cause_type
                 ).inc()
             else:
                 request.status = RequestStatus.COMPLETED
@@ -378,6 +413,7 @@ class Gateway:
                 self.metrics.histogram("gateway.latency_us").observe(
                     request.latency_us
                 )
+            self._close_trace(request)
             self._terminal.append(request)
             self._dispatch()
 
@@ -401,8 +437,25 @@ class Gateway:
             self._queued_count -= 1
             request.status = RequestStatus.RUNNING
             request.started_at_us = self._now_us
+            trace = request.trace
+            if trace is not None:
+                self.tracer.end_span(trace.queue, self._now_us)
+                trace.queue.set(wait_us=request.queue_wait_us)
+                trace.execute = self.tracer.start_span(
+                    "gateway.execute",
+                    "service",
+                    start_us=self._now_us,
+                    parent=trace.root,
+                    attributes={"slot": slot},
+                )
+                context = self.tracer.attach(trace.execute)
+            else:
+                # Unsampled: swallow device-side spans so they never
+                # become orphan roots in the export.
+                context = self.tracer.suppressed()
             try:
-                service_us, result = self.executor.execute(request, self._now_us)
+                with context:
+                    service_us, result = self.executor.execute(request, self._now_us)
             except Exception as exc:
                 # Typed failure: the slot was genuinely occupied for as
                 # long as the attempts took (recovering executors carry
@@ -418,6 +471,13 @@ class Gateway:
                 result = None
             request.service_us = service_us
             request.result = result
+            if trace is not None:
+                self.tracer.end_span(trace.execute, self._now_us + service_us)
+                if request.failure is not None:
+                    trace.execute.set(
+                        error=request.failure.error_type,
+                        cause=request.failure.cause_type,
+                    )
             self._slot_busy_us[slot] += service_us
             self._in_flight += 1
             self.metrics.histogram("gateway.queue_wait_us").observe(
@@ -458,7 +518,30 @@ class Gateway:
         self._queued_count -= 1
         self._release_session(request.session_id)
         self.metrics.counter("gateway.expired").inc()
+        self._close_trace(request)
         self._terminal.append(request)
+
+    def _close_trace(self, request: GatewayRequest) -> None:
+        """Terminate a sampled request's open spans at its finish time."""
+        trace = request.trace
+        if trace is None:
+            return
+        end = (
+            request.finished_at_us
+            if request.finished_at_us is not None
+            else self._now_us
+        )
+        if trace.queue is not None and trace.queue.end_us is None:
+            self.tracer.end_span(trace.queue, end)
+        trace.root.set(status=request.status)
+        if request.reject_reason is not None:
+            trace.root.set(reject_reason=request.reject_reason)
+        if request.failure is not None:
+            trace.root.set(
+                error=request.failure.error_type,
+                cause=request.failure.cause_type,
+            )
+        self.tracer.end_span(trace.root, end)
 
     def _release_session(self, session_id: bytes) -> None:
         remaining = self._session_outstanding.get(session_id, 0) - 1

@@ -7,11 +7,19 @@ for instantaneous depths.  Everything is exact and in-memory — samples
 are kept, percentiles are computed by nearest-rank on the sorted data —
 so two identically seeded runs produce byte-identical snapshots (the
 reproducibility bar every experiment in this repository meets).
+
+Metrics take structured labels (``registry.counter("faults.injected",
+kind="dma-drop")``); the snapshot flattens them into the key as
+``name{k=v,...}`` with keys sorted, while the Prometheus exporter in
+:mod:`repro.telemetry.exporters` renders them as proper label sets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+# A label set as stored: ``(("kind", "dma-drop"), ...)`` sorted by key.
+LabelItems = tuple[tuple[str, str], ...]
 
 
 @dataclass
@@ -28,26 +36,48 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """An instantaneous level, with its high-water mark retained."""
+    """An instantaneous level, with its high-water mark retained.
+
+    The peak tracks the values actually set: a gauge that only ever
+    holds negative levels reports a negative peak, not the 0.0 it was
+    never set to.
+    """
 
     value: float = 0.0
-    peak: float = 0.0
+    _peak: float | None = field(default=None, repr=False)
 
     def set(self, value: float) -> None:
         self.value = value
-        self.peak = max(self.peak, value)
+        self._peak = value if self._peak is None else max(self._peak, value)
+
+    @property
+    def peak(self) -> float:
+        return self.value if self._peak is None else self._peak
 
 
 @dataclass
 class Histogram:
-    """Exact distribution of observed values (µs, counts, ...)."""
+    """Exact distribution of observed values (µs, counts, ...).
+
+    ``total`` and ``max`` are running values maintained on ``observe`` —
+    snapshots are taken per bench iteration, so recomputing them over
+    the sample list would be O(n) per read.
+    """
 
     samples: list[float] = field(default_factory=list)
     _sorted: bool = True
+    _total: float = 0.0
+    _max: float = 0.0
 
     def observe(self, value: float) -> None:
-        if self.samples and value < self.samples[-1]:
-            self._sorted = False
+        if self.samples:
+            if value < self.samples[-1]:
+                self._sorted = False
+            if value > self._max:
+                self._max = value
+        else:
+            self._max = value
+        self._total += value
         self.samples.append(value)
 
     @property
@@ -56,15 +86,15 @@ class Histogram:
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.samples) if self.samples else 0.0
+        return self._total / len(self.samples) if self.samples else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self.samples else 0.0
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
@@ -79,45 +109,78 @@ class Histogram:
         return self.samples[int(rank) - 1]
 
 
+def flatten_name(name: str, labels: LabelItems) -> str:
+    """The snapshot key for a labelled metric: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
     """Named counters/gauges/histograms with a flat snapshot view."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[tuple[str, LabelItems], Counter] = {}
+        self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter())
+    @staticmethod
+    def _key(name: str, labels: dict[str, object]) -> tuple[str, LabelItems]:
+        return name, tuple(sorted((key, str(value)) for key, value in labels.items()))
 
-    def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge())
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._counters.setdefault(self._key(name, labels), Counter())
 
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram())
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._gauges.setdefault(self._key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._histograms.setdefault(self._key(name, labels), Histogram())
+
+    def reset(self) -> None:
+        """Drop every metric: a fresh registry without re-threading it."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- structured iteration (the Prometheus exporter's interface) ----
+
+    def iter_counters(self):
+        for (name, labels), counter in sorted(self._counters.items()):
+            yield name, labels, counter
+
+    def iter_gauges(self):
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            yield name, labels, gauge
+
+    def iter_histograms(self):
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            yield name, labels, histogram
 
     def snapshot(self) -> dict[str, float]:
         """A flat, deterministically ordered name→value map.
 
-        Histograms expand to count/mean/p50/p95/p99/max.  Two runs of the
-        same seeded workload must produce equal snapshots — the gateway
-        benchmarks assert exactly that.
+        Labels flatten into the key (``faults.injected{kind=dma-drop}``)
+        and histograms expand to count/mean/p50/p95/p99/max.  Two runs
+        of the same seeded workload must produce equal snapshots — the
+        gateway benchmarks assert exactly that.
         """
         out: dict[str, float] = {}
-        for name in sorted(self._counters):
-            out[name] = self._counters[name].value
-        for name in sorted(self._gauges):
-            gauge = self._gauges[name]
-            out[f"{name}"] = gauge.value
-            out[f"{name}.peak"] = gauge.peak
-        for name in sorted(self._histograms):
-            hist = self._histograms[name]
-            out[f"{name}.count"] = float(hist.count)
-            out[f"{name}.mean"] = hist.mean
-            out[f"{name}.p50"] = hist.percentile(50)
-            out[f"{name}.p95"] = hist.percentile(95)
-            out[f"{name}.p99"] = hist.percentile(99)
-            out[f"{name}.max"] = hist.max
+        for name, labels, counter in self.iter_counters():
+            out[flatten_name(name, labels)] = counter.value
+        for name, labels, gauge in self.iter_gauges():
+            flat = flatten_name(name, labels)
+            out[flat] = gauge.value
+            out[f"{flat}.peak"] = gauge.peak
+        for name, labels, hist in self.iter_histograms():
+            flat = flatten_name(name, labels)
+            out[f"{flat}.count"] = float(hist.count)
+            out[f"{flat}.mean"] = hist.mean
+            out[f"{flat}.p50"] = hist.percentile(50)
+            out[f"{flat}.p95"] = hist.percentile(95)
+            out[f"{flat}.p99"] = hist.percentile(99)
+            out[f"{flat}.max"] = hist.max
         return out
 
     def render(self) -> str:

@@ -1,0 +1,32 @@
+"""repro.telemetry: deterministic virtual-time tracing and exporters.
+
+- :mod:`repro.telemetry.tracer` — spans, the clock-keyed tracer
+  registry, seeded sampling.
+- :mod:`repro.telemetry.critical_path` — exclusive per-layer latency
+  attribution over span trees (the §VI-C decomposition).
+- :mod:`repro.telemetry.exporters` — Chrome ``trace_event`` JSON and
+  Prometheus-style text.
+- :mod:`repro.telemetry.bench` — the seeded trace-bench harness (import
+  it directly; it pulls in the serving stack).
+"""
+
+from repro.telemetry.critical_path import (
+    RequestAttribution,
+    aggregate,
+    attribute,
+    attribute_all,
+    attribution_table,
+    request_roots,
+)
+from repro.telemetry.exporters import render_chrome_trace, render_prometheus
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    Span,
+    SpanEvent,
+    TraceContext,
+    TraceSampler,
+    Tracer,
+    install_tracer,
+    tracer_for,
+    uninstall_tracer,
+)

@@ -1,0 +1,249 @@
+"""The trace bench: one traced end-to-end serving run, reconciled (§VI-C).
+
+One :func:`run_trace_bench` call builds a multi-device service, installs
+a seeded tracer on its clock, drives the gateway with the closed-loop
+load generator, and folds the collected span forest into a
+:class:`TraceBenchReport`: the per-layer critical-path decomposition,
+both exports (Chrome ``trace_event`` JSON and Prometheus text), and —
+when every request is sampled — a reconciliation of the telemetry
+buckets against the totals the simulator accumulated independently
+through :class:`~repro.hardware.timing.TimeBreakdown` and the
+hypervisor/cost-model counters.
+
+The reconciliation is the bench's point: tracing observes the same
+virtual-time charges the cost model makes, through a completely separate
+code path (span exclusive time vs. breakdown accumulation), so agreement
+within float tolerance is strong evidence neither side drops or
+double-counts a microsecond.
+
+Determinism contract: everything — load order, sampling decisions, span
+ids, export bytes — derives from ``config.seed`` through seeded DRBGs
+and virtual time, so identically configured runs produce byte-identical
+exports (the CLI and CI assert this by running twice).
+
+This module imports the serving layer, so it is deliberately *not*
+re-exported from :mod:`repro.telemetry` (which serving itself imports);
+import ``repro.telemetry.bench`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.device import DeviceConfig
+from repro.core.service import HarDTAPEService
+from repro.core.user import PreExecutionClient
+from repro.hypervisor.bundle_codec import TransactionBundle, encode_bundle
+from repro.hypervisor.hypervisor import SecurityFeatures
+from repro.serving.gateway import Gateway, GatewayConfig, ServiceExecutor
+from repro.serving.loadgen import LoadReport, LoadSession, run_closed_loop
+from repro.serving.metrics import MetricsRegistry
+from repro.telemetry.critical_path import (
+    aggregate,
+    attribute_all,
+    attribution_table,
+)
+from repro.telemetry.exporters import render_chrome_trace, render_prometheus
+from repro.telemetry.tracer import TraceSampler, install_tracer, uninstall_tracer
+
+
+@dataclass
+class TraceBenchConfig:
+    """One trace-bench run: fleet shape, load shape, and sampling."""
+
+    seed: int = 7
+    sample_rate: float = 1.0
+    device_count: int = 2
+    hevms_per_device: int = 2
+    tenants: int = 3
+    requests_per_tenant: int = 4
+    security_level: str = "full"
+    # Bound on |traced - modeled| per reconciliation row.  The two sides
+    # sum the same µs-scale charges in different association orders, so
+    # the honest disagreement is ~1e-6 µs over a full run; a millionth of
+    # a microsecond of slack catches real drops without false alarms.
+    tolerance_us: float = 1e-3
+
+
+@dataclass(frozen=True)
+class ReconciliationRow:
+    """One bucket's telemetry total next to the simulator's own total."""
+
+    name: str
+    traced_us: float
+    model_us: float
+
+    @property
+    def delta_us(self) -> float:
+        return self.traced_us - self.model_us
+
+
+@dataclass
+class TraceBenchReport:
+    """Everything one traced run produced."""
+
+    seed: int
+    sample_rate: float
+    load: LoadReport
+    buckets: dict[str, float]          # exclusive µs per layer, all requests
+    sampled_requests: int
+    span_count: int
+    residual_us: float                 # max |bucket sum - root duration|
+    reconciliation: list[ReconciliationRow] = field(default_factory=list)
+    chrome_json: str = ""
+    prometheus_text: str = ""
+
+    @property
+    def max_reconciliation_error_us(self) -> float:
+        return max((abs(row.delta_us) for row in self.reconciliation), default=0.0)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"seed {self.seed}, sample rate {self.sample_rate:.0%}: "
+            f"{self.sampled_requests}/{self.load.submitted} requests traced, "
+            f"{self.span_count} spans",
+            f"throughput {self.load.throughput_tps:.1f} tx/s over "
+            f"{self.load.duration_us / 1e6:.2f} s (virtual)",
+            "",
+        ]
+        lines.extend(
+            attribution_table(self.buckets, requests=self.sampled_requests)
+            .splitlines()
+        )
+        if self.reconciliation:
+            lines.append("")
+            lines.append("reconciliation vs cost-model accounting:")
+            for row in self.reconciliation:
+                lines.append(
+                    f"  {row.name:<22} traced {row.traced_us / 1000:>10.3f} ms"
+                    f"  model {row.model_us / 1000:>10.3f} ms"
+                    f"  |d| {abs(row.delta_us):.2e} us"
+                )
+            lines.append(
+                f"  max error {self.max_reconciliation_error_us:.2e} us, "
+                f"max per-request residual {self.residual_us:.2e} us"
+            )
+        return lines
+
+
+def _reconcile(service: HarDTAPEService, buckets: dict[str, float]):
+    """Pair each telemetry bucket with the simulator's independent total.
+
+    Only meaningful at sample rate 1.0: the breakdown/stat totals cover
+    every bundle, so the spans must too.  Buckets with no cost-model
+    counterpart (queueing, idle prefetch waits, the ~0-exclusive
+    request/service/session wrappers) are reported but not reconciled.
+    """
+    breakdowns = service.stats.per_tx_breakdowns
+    model = {
+        "execution": sum(b.execution_us for b in breakdowns),
+        "oram_storage": sum(b.oram_storage_us for b in breakdowns),
+        "oram_code": sum(b.oram_code_us for b in breakdowns),
+        "swap": sum(b.swap_us for b in breakdowns),
+        "other": sum(b.other_us for b in breakdowns),
+        # Channel AEAD + ECDSA, accumulated per bundle on each device.
+        "encryption+signature": sum(
+            d.hypervisor.stats.crypto_time_us for d in service.devices
+        ),
+        # Fixed admission cost per executed bundle.
+        "hypervisor": service.cost.bundle_admission_us
+        * sum(d.hypervisor.stats.bundles_executed for d in service.devices),
+    }
+    traced = {name: buckets.get(name, 0.0) for name in model}
+    traced["encryption+signature"] = buckets.get("encryption", 0.0) + buckets.get(
+        "signature", 0.0
+    )
+    return [
+        ReconciliationRow(name=name, traced_us=traced[name], model_us=model[name])
+        for name in model
+    ]
+
+
+def run_trace_bench(config: TraceBenchConfig, evalset) -> TraceBenchReport:
+    """One seeded, traced serving run over ``evalset``'s transactions."""
+    service = HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level(config.security_level),
+        device_count=config.device_count,
+        device_config=DeviceConfig(hevm_count=config.hevms_per_device),
+        charge_fees=False,
+    )
+    tracer = install_tracer(
+        service.clock, TraceSampler(config.sample_rate, config.seed)
+    )
+    try:
+        metrics = MetricsRegistry()
+        transactions = evalset.transactions
+        sessions: list[LoadSession] = []
+        for tenant in range(config.tenants):
+            client = PreExecutionClient(
+                service.manufacturer.root_public_key,
+                rng_seed=bytes([tenant + 1]) * 32,
+            )
+            home = tenant % config.device_count
+            session = client.connect(service, service.devices[home])
+
+            def make_payload(ordinal: int, offset: int = tenant, session=session):
+                tx = transactions[(offset + ordinal) % len(transactions)]
+                encoded = encode_bundle(
+                    TransactionBundle(
+                        transactions=(tx,), block_number=service.synced_height
+                    )
+                )
+
+                def seal():
+                    # Seal at dispatch so channel nonces stay ordered.
+                    if session.device.hypervisor.features.encryption:
+                        return session.channel.seal(encoded)
+                    return encoded
+
+                return seal
+
+            sessions.append(
+                LoadSession(
+                    session_id=session.session_id,
+                    make_payload=make_payload,
+                    device_index=home,
+                )
+            )
+
+        gateway = Gateway(
+            ServiceExecutor(service),
+            GatewayConfig(),
+            metrics=metrics,
+            tracer=tracer,
+        )
+        load = run_closed_loop(
+            gateway, sessions, requests_per_session=config.requests_per_tenant
+        )
+
+        attributions = attribute_all(tracer)
+        buckets = aggregate(attributions)
+        residual = max(
+            (abs(a.residual_us) for a in attributions), default=0.0
+        )
+        reconciliation = (
+            _reconcile(service, buckets) if config.sample_rate >= 1.0 else []
+        )
+        return TraceBenchReport(
+            seed=config.seed,
+            sample_rate=config.sample_rate,
+            load=load,
+            buckets=buckets,
+            sampled_requests=len(attributions),
+            span_count=len(tracer.spans),
+            residual_us=residual,
+            reconciliation=reconciliation,
+            chrome_json=render_chrome_trace(tracer),
+            prometheus_text=render_prometheus(metrics, layer_totals=buckets),
+        )
+    finally:
+        uninstall_tracer(service.clock)
+
+
+__all__ = [
+    "ReconciliationRow",
+    "TraceBenchConfig",
+    "TraceBenchReport",
+    "run_trace_bench",
+]

@@ -1,0 +1,134 @@
+"""Critical-path attribution: where inside one request did the time go.
+
+Because all charged time is sequential virtual time and spans nest
+strictly, a span's *exclusive* time — its duration minus the summed
+durations of its direct children — is the time spent in that span's own
+layer and nowhere else.  Summing exclusive time by layer over a request's
+span tree therefore partitions the end-to-end latency exactly: the
+per-layer buckets add up to the root duration with no double counting
+and no residue (beyond float association error).
+
+This reproduces the paper's §VI-C decomposition as first-class
+telemetry: the ``execution`` bucket is HarDTAPE-raw's EVM time, adding
+``encryption`` gives -E, adding ``signature`` gives -ES, and the
+``oram_storage``/``oram_code``/``swap`` buckets are the memory-oblivious
+overheads that complete -full.  The trace-bench harness asserts these
+buckets against the :class:`~repro.hardware.timing.CostModel` totals the
+simulator accumulated independently in ``TimeBreakdown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.tracer import Span, Tracer
+
+# The layer a request root span is created on (gateway lifecycle).
+REQUEST_LAYER = "request"
+
+
+@dataclass
+class RequestAttribution:
+    """One request's latency, partitioned into exclusive per-layer buckets."""
+
+    root: Span
+    buckets: dict[str, float]
+
+    @property
+    def total_us(self) -> float:
+        return self.root.duration_us
+
+    @property
+    def residual_us(self) -> float:
+        """Bucket sum minus root duration — zero up to float association."""
+        return sum(self.buckets.values()) - self.total_us
+
+
+def children_index(spans: list[Span]) -> dict[int, list[Span]]:
+    """Direct children of each span id, in creation (= start) order."""
+    index: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def request_roots(tracer: Tracer) -> list[Span]:
+    """Completed request roots, in creation order."""
+    return [
+        span
+        for span in tracer.spans
+        if span.parent_id is None and span.layer == REQUEST_LAYER and span.end_us is not None
+    ]
+
+
+def attribute(
+    spans: list[Span],
+    root: Span,
+    index: dict[int, list[Span]] | None = None,
+) -> RequestAttribution:
+    """Walk ``root``'s subtree and bucket exclusive time by layer.
+
+    Pass a prebuilt :func:`children_index` when attributing many roots
+    over the same span list.
+    """
+    if index is None:
+        index = children_index(spans)
+    buckets: dict[str, float] = {}
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        children = index.get(span.span_id, [])
+        exclusive = span.duration_us - sum(child.duration_us for child in children)
+        buckets[span.layer] = buckets.get(span.layer, 0.0) + exclusive
+        stack.extend(children)
+    return RequestAttribution(root=root, buckets=buckets)
+
+
+def attribute_all(tracer: Tracer) -> list[RequestAttribution]:
+    """One attribution per completed request root in the tracer."""
+    index = children_index(tracer.spans)
+    return [attribute(tracer.spans, root, index) for root in request_roots(tracer)]
+
+
+def aggregate(attributions: list[RequestAttribution]) -> dict[str, float]:
+    """Sum per-layer buckets across requests (keys sorted for stability)."""
+    totals: dict[str, float] = {}
+    for attribution in attributions:
+        for layer, value in attribution.buckets.items():
+            totals[layer] = totals.get(layer, 0.0) + value
+    return dict(sorted(totals.items()))
+
+
+def attribution_table(
+    buckets: dict[str, float], requests: int | None = None
+) -> str:
+    """Fixed-width text table of the per-layer decomposition."""
+    total = sum(buckets.values())
+    header = f"{'layer':<14} {'total ms':>10} {'share':>7}"
+    if requests:
+        header += f" {'per-req ms':>11}"
+    lines = [header, "-" * len(header)]
+    for layer, value in sorted(buckets.items(), key=lambda item: -item[1]):
+        share = value / total if total else 0.0
+        row = f"{layer:<14} {value / 1000.0:>10.3f} {share:>6.1%}"
+        if requests:
+            row += f" {value / 1000.0 / requests:>11.3f}"
+        lines.append(row)
+    footer = f"{'end-to-end':<14} {total / 1000.0:>10.3f} {1.0:>6.1%}"
+    if requests:
+        footer += f" {total / 1000.0 / requests:>11.3f}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "REQUEST_LAYER",
+    "RequestAttribution",
+    "aggregate",
+    "attribute",
+    "attribute_all",
+    "attribution_table",
+    "children_index",
+    "request_roots",
+]

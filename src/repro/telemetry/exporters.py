@@ -1,0 +1,206 @@
+"""Trace and metrics exporters: Chrome ``trace_event`` JSON + Prometheus text.
+
+Both renderings are deterministic down to the byte: spans are emitted in
+creation order, JSON keys are sorted, label sets are pre-sorted by the
+registry, and no timestamps other than virtual time appear anywhere.
+The trace-bench CLI and CI assert byte-identity across identically
+seeded runs, so any nondeterminism added here is a test failure, not a
+cosmetic wobble.
+
+The Chrome export uses complete ("X") duration events with ``ts``/``dur``
+in microseconds — virtual microseconds map one-to-one — and is loadable
+in Perfetto or ``chrome://tracing`` as-is.  Each request renders on its
+own thread row (``tid`` = request id) with control-plane spans
+(attestation, session setup, sync) on row 0.  Span events become
+instant ("i") events on the same row.
+
+The Prometheus rendering subsumes ``MetricsRegistry.snapshot()``: every
+quantity the snapshot exposes appears as a sample line, with histogram
+quantiles as summary-style ``{quantile="..."}`` series, plus optional
+``trace_layer_exclusive_us`` series carrying the critical-path buckets.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.telemetry.tracer import Span, Tracer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+# tid used for spans not belonging to any request tree (control plane).
+CONTROL_PLANE_TID = 0
+
+
+def _jsonable(value: object) -> object:
+    """Span attributes restricted to what JSON carries deterministically."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _thread_ids(spans: list[Span]) -> dict[int, int]:
+    """Map each span id to its display row: the root's request id."""
+    by_id = {span.span_id: span for span in spans}
+    tids: dict[int, int] = {}
+    for span in spans:
+        walk = span
+        chain = []
+        while walk.parent_id is not None and walk.span_id not in tids:
+            chain.append(walk.span_id)
+            walk = by_id[walk.parent_id]
+        if walk.span_id in tids:
+            tid = tids[walk.span_id]
+        else:
+            request_id = walk.attributes.get("request_id")
+            tid = int(request_id) if isinstance(request_id, int) else CONTROL_PLANE_TID
+            tids[walk.span_id] = tid
+        for span_id in chain:
+            tids[span_id] = tid
+    return tids
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` list: metadata rows, then one X event per span."""
+    spans = tracer.spans
+    tids = _thread_ids(spans)
+    events: list[dict] = [
+        {
+            "args": {"name": "hardtape-repro"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+        }
+    ]
+    for tid in sorted(set(tids.values())):
+        label = "control-plane" if tid == CONTROL_PLANE_TID else f"request-{tid}"
+        events.append(
+            {
+                "args": {"name": label},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+            }
+        )
+    for span in spans:
+        tid = tids[span.span_id]
+        start = span.start_us + span.shift_us
+        events.append(
+            {
+                "args": _jsonable(dict(span.attributes)),
+                "cat": span.layer,
+                "dur": span.duration_us,
+                "name": span.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": start,
+            }
+        )
+        for item in span.events:
+            events.append(
+                {
+                    "args": _jsonable(dict(item.attributes)),
+                    "cat": span.layer,
+                    "name": item.name,
+                    "ph": "i",
+                    "pid": 1,
+                    "s": "t",
+                    "tid": tid,
+                    "ts": item.at_us + span.shift_us,
+                }
+            )
+    return events
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    """Perfetto-loadable JSON document, byte-stable across equal runs."""
+    document = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+# -- Prometheus-style text exposition ---------------------------------
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return _NAME_RE.sub("_", name) + suffix
+
+
+def _label_str(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = tuple(labels) + extra
+    if not items:
+        return ""
+    inner = ",".join(f'{_NAME_RE.sub("_", key)}="{value}"' for key, value in items)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def render_prometheus(registry, layer_totals: dict[str, float] | None = None) -> str:
+    """Prometheus text exposition subsuming ``registry.snapshot()``.
+
+    Every snapshot quantity appears: counters as ``_total``, gauges with
+    a ``_peak`` companion, histograms as summary quantiles plus
+    ``_count``/``_sum``/``_max``/``_mean``.  Passing the critical-path
+    ``layer_totals`` adds ``hardtape_trace_layer_exclusive_us`` series.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(base: str, kind: str) -> None:
+        if base not in seen_types:
+            seen_types.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for name, labels, counter in registry.iter_counters():
+        base = _metric_name(name, "_total")
+        header(base, "counter")
+        lines.append(f"{base}{_label_str(labels)} {_format_value(counter.value)}")
+    for name, labels, gauge in registry.iter_gauges():
+        base = _metric_name(name)
+        header(base, "gauge")
+        lines.append(f"{base}{_label_str(labels)} {_format_value(gauge.value)}")
+        peak = _metric_name(name, "_peak")
+        header(peak, "gauge")
+        lines.append(f"{peak}{_label_str(labels)} {_format_value(gauge.peak)}")
+    for name, labels, hist in registry.iter_histograms():
+        base = _metric_name(name)
+        header(base, "summary")
+        for quantile in ("0.5", "0.95", "0.99"):
+            percentile = hist.percentile(float(quantile) * 100)
+            labelled = _label_str(labels, (("quantile", quantile),))
+            lines.append(f"{base}{labelled} {_format_value(percentile)}")
+        lines.append(f"{base}_count{_label_str(labels)} {_format_value(hist.count)}")
+        lines.append(f"{base}_sum{_label_str(labels)} {_format_value(hist.total)}")
+        for suffix, value in (("_max", hist.max), ("_mean", hist.mean)):
+            gauge_name = _metric_name(name, suffix)
+            header(gauge_name, "gauge")
+            lines.append(f"{gauge_name}{_label_str(labels)} {_format_value(value)}")
+    if layer_totals is not None:
+        base = "hardtape_trace_layer_exclusive_us"
+        header(base, "counter")
+        for layer in sorted(layer_totals):
+            labelled = _label_str((("layer", layer),))
+            lines.append(f"{base}{labelled} {_format_value(layer_totals[layer])}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "CONTROL_PLANE_TID",
+    "chrome_trace_events",
+    "render_chrome_trace",
+    "render_prometheus",
+]

@@ -59,5 +59,5 @@ def test_dma_corruption_mostly_recovered_and_fully_accounted(tiny_evalset):
     # Injections flow through the metrics registry, not a side channel.
     assert report.metrics.get("faults.injected", 0.0) == report.injected_total
     if report.injected_total:
-        assert report.metrics["faults.injected.dma-corrupt"] > 0
+        assert report.metrics["faults.injected{kind=dma-corrupt}"] > 0
         assert report.recovered >= 1

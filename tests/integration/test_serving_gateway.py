@@ -255,11 +255,11 @@ def test_failover_redispatches_crashed_bundle_to_other_device(tiny_evalset):
     assert report.traces[0].status == 1
 
     snapshot = metrics.snapshot()
-    assert snapshot["faults.injected.hevm-crash"] == 1.0
-    assert snapshot["recovery.errors.HevmCrashError"] == 1.0
+    assert snapshot["faults.injected{kind=hevm-crash}"] == 1.0
+    assert snapshot["recovery.errors{error=HevmCrashError}"] == 1.0
     assert snapshot["recovery.recovered"] == 1.0
     assert snapshot["gateway.failover"] == 1.0
-    assert snapshot["faults.outcome.FailedOverError"] == 1.0
+    assert snapshot["faults.outcome{outcome=FailedOverError}"] == 1.0
     assert snapshot["gateway.completed"] == 1.0
 
 
@@ -289,7 +289,7 @@ def test_exhausted_recovery_surfaces_typed_gateway_failure(tiny_evalset):
     assert request.recovery.attempts == 2
     snapshot = metrics.snapshot()
     assert snapshot["gateway.failed"] == 1.0
-    assert snapshot["gateway.failed.HevmCrashError"] == 1.0
+    assert snapshot["gateway.failed{cause=HevmCrashError}"] == 1.0
     assert snapshot.get("gateway.completed", 0.0) == 0.0
 
 

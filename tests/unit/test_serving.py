@@ -199,7 +199,7 @@ def test_queue_bound_rejects_and_session_cap_rejects():
     full = gateway.submit(b"c", None)
     assert full.reject_reason == RejectReason.QUEUE_FULL
     assert gateway.metrics.counter(
-        f"gateway.rejected.{RejectReason.QUEUE_FULL}"
+        "gateway.rejected", reason=RejectReason.QUEUE_FULL
     ).value == 1.0
 
 
