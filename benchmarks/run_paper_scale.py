@@ -10,7 +10,12 @@ Usage::
 
     python benchmarks/run_paper_scale.py --blocks 20 --txs-per-block 10
     python benchmarks/run_paper_scale.py --blocks 100 --txs-per-block 20 \
-        --levels ES full
+        --levels ES full --workers 4
+
+``--workers N`` fans the security levels across processes
+(:mod:`repro.perf.parallel`); numbers are identical to a serial run —
+each worker rebuilds the same deterministic evaluation set — only wall
+clock changes.
 """
 
 from __future__ import annotations
@@ -36,6 +41,8 @@ def main() -> int:
         "--levels", nargs="+", default=["raw", "E", "ES", "ESO", "full"],
         choices=["raw", "E", "ES", "ESO", "full"],
     )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the level sweep (1 = serial)")
     args = parser.parse_args()
 
     started = time.time()
@@ -61,18 +68,31 @@ def main() -> int:
              for tx in transactions]
     _report("geth", times, 0.0)
 
-    for level in args.levels:
-        wall_started = time.time()
-        service = HarDTAPEService(
-            evalset.node, SecurityFeatures.from_level(level), charge_fees=False
+    if args.workers > 1:
+        from repro.perf.parallel import run_parallel
+        from repro.perf.workers import paper_scale_level
+
+        rows = run_parallel(
+            paper_scale_level,
+            [(level, args.blocks, args.txs_per_block, args.seed)
+             for level in args.levels],
+            workers=args.workers,
         )
-        client = PreExecutionClient(service.manufacturer.root_public_key)
-        session = client.connect(service)
-        times = []
-        for tx in transactions:
-            _, elapsed, _ = client.pre_execute(service, session, [tx])
-            times.append(elapsed)
-        _report(level, times, time.time() - wall_started)
+        for level, times, wall_s in rows:
+            _report(level, times, wall_s)
+    else:
+        for level in args.levels:
+            wall_started = time.time()
+            service = HarDTAPEService(
+                evalset.node, SecurityFeatures.from_level(level), charge_fees=False
+            )
+            client = PreExecutionClient(service.manufacturer.root_public_key)
+            session = client.connect(service)
+            times = []
+            for tx in transactions:
+                _, elapsed, _ = client.pre_execute(service, session, [tx])
+                times.append(elapsed)
+            _report(level, times, time.time() - wall_started)
 
     print(f"\ntotal wall time: {time.time() - started:.0f}s")
     return 0

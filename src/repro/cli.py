@@ -10,6 +10,11 @@
     python -m repro.cli serve-bench         # gateway saturation sweep (§VI-D)
     python -m repro.cli chaos-bench         # fault injection + recovery sweep
     python -m repro.cli trace-bench         # traced run + critical-path table
+    python -m repro.cli perf-bench          # crypto/ORAM before/after speedup
+
+``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
+sweep rows across processes (deterministic: results are reduced in
+input order, so the output is identical to ``--workers 1``).
 
 Everything runs offline and deterministically.
 """
@@ -187,7 +192,6 @@ def cmd_serve_bench(args) -> int:
         GatewayConfig,
         QueueDepthShedPolicy,
         model_sessions,
-        run_closed_loop,
         run_open_loop,
         synthetic_profiles,
     )
@@ -207,23 +211,24 @@ def cmd_serve_bench(args) -> int:
               file=sys.stderr)
         return 2
 
+    from repro.perf.parallel import run_parallel
+    from repro.perf.workers import serve_bench_row
+
     print(f"closed-loop sweep ({args.workload} workload, "
-          f"{args.requests} requests/session, rtt={args.rtt_us:g} µs):")
+          f"{args.requests} requests/session, rtt={args.rtt_us:g} µs"
+          + (f", {args.workers} workers" if args.workers > 1 else "")
+          + "):")
     print(f"{'HEVMs':>6} {'tx/s':>9} {'per-HEVM':>9} "
           f"{'server util':>12} {'p99 latency':>12}")
-    for cores in sweep:
-        executor = FleetModelExecutor(core_count=cores, cost=cost)
-        gateway = Gateway(executor, GatewayConfig(
-            max_queue_depth=4 * cores, max_in_flight_per_session=4,
-        ))
-        report = run_closed_loop(
-            gateway, model_sessions(cores, profiles),
-            requests_per_session=args.requests,
-        )
-        print(f"{cores:>6} {report.throughput_tps:>9.1f} "
-              f"{report.throughput_tps / cores:>9.2f} "
-              f"{executor.server.utilization(gateway.now_us):>11.1%} "
-              f"{report.latency_percentile_us(99) / 1000:>10.1f}ms")
+    rows = run_parallel(
+        serve_bench_row,
+        [(cores, args.workload, args.seed, args.rtt_us, args.requests)
+         for cores in sweep],
+        workers=args.workers,
+    )
+    for cores, tps, per_hevm, util, p99_ms in rows:
+        print(f"{cores:>6} {tps:>9.1f} {per_hevm:>9.2f} "
+              f"{util:>11.1%} {p99_ms:>10.1f}ms")
 
     if args.overload_rate > 0:
         cores = sweep[len(sweep) // 2]
@@ -269,11 +274,27 @@ def cmd_chaos_bench(args) -> int:
               "must be positive", file=sys.stderr)
         return 2
 
+    print(f"chaos sweep: seed={args.seed}, {args.devices} device(s), "
+          f"{args.tenants} tenant(s) x {args.requests} request(s)"
+          + (f", {args.workers} workers" if args.workers > 1 else ""))
+    if args.workers > 1:
+        from repro.perf.parallel import run_parallel
+        from repro.perf.workers import chaos_rate_row
+
+        reports = run_parallel(
+            chaos_rate_row,
+            [(rate, args.seed, args.devices, args.tenants, args.requests,
+              args.blocks, args.txs_per_block) for rate in rates],
+            workers=args.workers,
+        )
+        for lines in reports:
+            print()
+            for line in lines:
+                print(line)
+        return 0
     evalset = build_evaluation_set(EvaluationSetConfig(
         blocks=args.blocks, txs_per_block=args.txs_per_block,
     ))
-    print(f"chaos sweep: seed={args.seed}, {args.devices} device(s), "
-          f"{args.tenants} tenant(s) x {args.requests} request(s)")
     for rate in rates:
         report = run_chaos(
             ChaosConfig(
@@ -353,6 +374,33 @@ def cmd_trace_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_perf_bench(args) -> int:
+    from repro.perf.bench import PerfBenchConfig, run_perf_bench
+
+    if args.smoke:
+        config = PerfBenchConfig.smoke(
+            seed=args.seed, min_speedup=args.min_speedup
+        )
+    else:
+        config = PerfBenchConfig(seed=args.seed, min_speedup=args.min_speedup)
+    report = run_perf_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.identical:
+        print("PERF-BENCH FAILED: optimized outputs diverge from baseline",
+              file=sys.stderr)
+        return 1
+    if report.speedup < args.min_speedup:
+        print(f"PERF-BENCH FAILED: speedup {report.speedup:.1f}x below the "
+              f"{args.min_speedup:g}x regression gate", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -409,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--overload-rate", type=float, default=5000.0,
                        help="open-loop offered load in req/s (0 disables)")
     serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="processes for the closed-loop sweep "
+                            "(1 = serial; output is identical either way)")
     serve.set_defaults(func=cmd_serve_bench)
 
     chaos = sub.add_parser(
@@ -426,6 +477,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="requests per tenant (closed loop)")
     chaos.add_argument("--blocks", type=int, default=2)
     chaos.add_argument("--txs-per-block", type=int, default=6)
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="processes for the rate sweep "
+                            "(1 = serial; output is identical either way)")
     chaos.set_defaults(func=cmd_chaos_bench)
 
     trace_bench = sub.add_parser(
@@ -450,6 +504,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_bench.add_argument("--skip-determinism-check", action="store_true",
                              help="skip the byte-identity re-run")
     trace_bench.set_defaults(func=cmd_trace_bench)
+
+    perf_bench = sub.add_parser(
+        "perf-bench",
+        help="before/after speedup of the crypto/ORAM substrate (repro.perf)",
+    )
+    perf_bench.add_argument("--seed", type=int, default=7)
+    perf_bench.add_argument("--smoke", action="store_true",
+                            help="CI-sized workload (same checks, ~10x faster)")
+    perf_bench.add_argument("--min-speedup", type=float, default=3.0,
+                            help="fail below this optimized/baseline ratio")
+    perf_bench.add_argument("--json-out", default="",
+                            help="write the BENCH_perf.json report here")
+    perf_bench.set_defaults(func=cmd_perf_bench)
     return parser
 
 

@@ -44,6 +44,10 @@ class DeviceConfig:
     # it surfaces as a typed OramTimeoutError instead of a hang.  None
     # absorbs any finite stall (the pre-fault-plane behaviour).
     oram_response_budget_us: float | None = None
+    # Bound on the ORAM decrypt-memo cache (repro.perf); 0/None disables
+    # memoization and restores the pre-memo wall-clock behaviour.  The
+    # cache is host-process memory, invisible to the simulated protocol.
+    oram_decrypt_memo_blocks: int | None = 4096
     # §II-C recursion: store the position map in a smaller ORAM instead
     # of fully on-chip (needed at real world-state scale; off by default
     # because the flat map is faster at simulation scale).
@@ -127,6 +131,7 @@ class HarDTAPEDevice:
                     rng=rng.fork(b"oram"),
                     position_map=position_map,
                     response_budget_us=self.config.oram_response_budget_us,
+                    decrypt_memo_blocks=self.config.oram_decrypt_memo_blocks,
                 )
             self.oram_backend = ObliviousStateBackend(
                 client, clock=lambda: self.clock.now_us

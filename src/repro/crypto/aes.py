@@ -9,9 +9,22 @@ byte-for-byte compatible with standard AES (checked against FIPS test
 vectors in the test suite) but makes no constant-time claims, which is
 irrelevant here because adversary timing in the simulation is modeled by
 :mod:`repro.hardware.timing`, not by wall clock.
+
+CTR keystream generation is the simulator's hottest loop (64 block
+transforms per 1 KB ORAM block), so :meth:`AES.ctr_keystream` has two
+tuned paths: a numpy one that runs the T-table rounds as uint32 gathers
+over all counter blocks at once, and a scalar fallback with the rounds
+inlined and the output buffer preallocated.  Both produce bytes
+identical to a block-at-a-time reference (see
+``tests/unit/test_aes_gcm.py``).
 """
 
 from __future__ import annotations
+
+try:  # numpy is a declared dependency, but the scalar path keeps the
+    import numpy as _np  # module usable if it is ever absent.
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 # ---------------------------------------------------------------------------
 # S-box generation (from GF(2^8) arithmetic, so no magic tables are pasted).
@@ -91,6 +104,39 @@ while len(_RCON) < 14:
     _RCON.append(_gf_mul(_RCON[-1], 2))
 
 
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings via big-int arithmetic.
+
+    Orders of magnitude faster than a per-byte generator for the 1 KB
+    payloads the ORAM and layer-3 paths move.
+    """
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(len(a), "little")
+
+
+# numpy mirrors of the T-tables / S-box, built on first vector use.
+_NP_TABLES = None
+
+
+def _numpy_tables():
+    global _NP_TABLES
+    if _NP_TABLES is None:
+        _NP_TABLES = (
+            _np.array(_T0, dtype=_np.uint32),
+            _np.array(_T1, dtype=_np.uint32),
+            _np.array(_T2, dtype=_np.uint32),
+            _np.array(_T3, dtype=_np.uint32),
+            _np.array(_SBOX, dtype=_np.uint32),
+        )
+    return _NP_TABLES
+
+
+# Below this many counter blocks the numpy dispatch overhead beats the
+# gather win; secure-channel headers stay on the scalar path.
+_VECTOR_MIN_BLOCKS = 4
+
+
 class AES:
     """Raw AES block cipher for 16/24/32-byte keys."""
 
@@ -101,6 +147,9 @@ class AES:
             raise ValueError(f"invalid AES key length: {len(key)}")
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(key)
+        # uint32 round keys for the vectorized CTR path, built lazily so
+        # key expansion itself never touches numpy.
+        self._rk_vector = None
 
     def _expand_key(self, key: bytes) -> list[int]:
         nk = len(key) // 4
@@ -236,14 +285,213 @@ class AES:
     def ctr_keystream(self, counter_block: bytes, length: int) -> bytes:
         """Generate ``length`` keystream bytes in CTR mode.
 
-        ``counter_block`` is the initial 16-byte counter; the final 32-bit
-        word is incremented per block (the GCM convention).
+        ``counter_block`` is the initial 16-byte counter; the final
+        32-bit word is incremented per block modulo 2^32 (the GCM
+        convention — the 96-bit nonce prefix never carries).
         """
-        prefix = counter_block[:12]
-        counter = int.from_bytes(counter_block[12:], "big")
-        out = bytearray()
+        if len(counter_block) != 16:
+            raise ValueError("CTR counter block must be 16 bytes")
+        if length <= 0:
+            return b""
         blocks = (length + 15) // 16
+        if _np is not None and blocks >= _VECTOR_MIN_BLOCKS:
+            return self._ctr_keystream_vector(counter_block, length, blocks)
+        return self._ctr_keystream_scalar(counter_block, length, blocks)
+
+    def _ctr_keystream_scalar(
+        self, counter_block: bytes, length: int, blocks: int
+    ) -> bytes:
+        """Inlined-rounds CTR loop writing into a preallocated buffer.
+
+        The nonce prefix contributes three state words that are constant
+        across blocks, so they are mixed with the first round key once.
+        """
+        rk = self._round_keys
+        p0 = int.from_bytes(counter_block[0:4], "big") ^ rk[0]
+        p1 = int.from_bytes(counter_block[4:8], "big") ^ rk[1]
+        p2 = int.from_bytes(counter_block[8:12], "big") ^ rk[2]
+        rk3 = rk[3]
+        counter = int.from_bytes(counter_block[12:16], "big")
+        rounds_minus_1 = self._rounds - 1
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = _SBOX
+        out = bytearray(blocks * 16)
+        pos = 0
         for _ in range(blocks):
-            out.extend(self.encrypt_block(prefix + counter.to_bytes(4, "big")))
+            s0, s1, s2, s3 = p0, p1, p2, counter ^ rk3
+            k = 4
+            for _ in range(rounds_minus_1):
+                n0 = (
+                    t0[(s0 >> 24) & 0xFF] ^ t1[(s1 >> 16) & 0xFF]
+                    ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[k]
+                )
+                n1 = (
+                    t0[(s1 >> 24) & 0xFF] ^ t1[(s2 >> 16) & 0xFF]
+                    ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[k + 1]
+                )
+                n2 = (
+                    t0[(s2 >> 24) & 0xFF] ^ t1[(s3 >> 16) & 0xFF]
+                    ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[k + 2]
+                )
+                n3 = (
+                    t0[(s3 >> 24) & 0xFF] ^ t1[(s0 >> 16) & 0xFF]
+                    ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[k + 3]
+                )
+                s0, s1, s2, s3 = n0, n1, n2, n3
+                k += 4
+            w0 = (
+                (sbox[(s0 >> 24) & 0xFF] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+                | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
+            ) ^ rk[k]
+            w1 = (
+                (sbox[(s1 >> 24) & 0xFF] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+                | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]
+            ) ^ rk[k + 1]
+            w2 = (
+                (sbox[(s2 >> 24) & 0xFF] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+                | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]
+            ) ^ rk[k + 2]
+            w3 = (
+                (sbox[(s3 >> 24) & 0xFF] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+                | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]
+            ) ^ rk[k + 3]
+            out[pos:pos + 16] = (
+                (w0 << 96) | (w1 << 64) | (w2 << 32) | w3
+            ).to_bytes(16, "big")
+            pos += 16
             counter = (counter + 1) & 0xFFFFFFFF
-        return bytes(out[:length])
+        if length != len(out):
+            del out[length:]
+        return bytes(out)
+
+    def _ctr_keystream_vector(
+        self, counter_block: bytes, length: int, blocks: int
+    ) -> bytes:
+        """All counter blocks at once: rounds as uint32 table gathers."""
+        np = _np
+        rk = self._rk_vector
+        if rk is None:
+            rk = self._rk_vector = np.array(self._round_keys, dtype=np.uint32)
+        counter = int.from_bytes(counter_block[12:16], "big")
+        counters = (
+            counter + np.arange(blocks, dtype=np.uint64)
+        ) & np.uint64(0xFFFFFFFF)
+        s0 = np.full(
+            blocks,
+            np.uint32(int.from_bytes(counter_block[0:4], "big")) ^ rk[0],
+            dtype=np.uint32,
+        )
+        s1 = np.full(
+            blocks,
+            np.uint32(int.from_bytes(counter_block[4:8], "big")) ^ rk[1],
+            dtype=np.uint32,
+        )
+        s2 = np.full(
+            blocks,
+            np.uint32(int.from_bytes(counter_block[8:12], "big")) ^ rk[2],
+            dtype=np.uint32,
+        )
+        s3 = counters.astype(np.uint32) ^ rk[3]
+        return self._rounds_vector(s0, s1, s2, s3)[:length]
+
+    def ctr_keystream_many(
+        self, counter_blocks: list[bytes], lengths: list[int]
+    ) -> list[bytes]:
+        """CTR keystreams for many messages in one vectorized pass.
+
+        The batched seal/open path concentrates an entire ORAM path
+        write — Z x (height+1) slots — into a single round computation,
+        which is where the numpy gathers actually amortize.  Falls back
+        to per-message :meth:`ctr_keystream` without numpy.
+        """
+        if len(counter_blocks) != len(lengths):
+            raise ValueError("counter_blocks and lengths differ in size")
+        if not counter_blocks:
+            return []
+        block_counts = [(max(length, 0) + 15) // 16 for length in lengths]
+        total = sum(block_counts)
+        if _np is None or total < _VECTOR_MIN_BLOCKS:
+            return [
+                self.ctr_keystream(cb, length)
+                for cb, length in zip(counter_blocks, lengths)
+            ]
+        np = _np
+        rk = self._rk_vector
+        if rk is None:
+            rk = self._rk_vector = np.array(self._round_keys, dtype=np.uint32)
+        counts = np.array(block_counts, dtype=np.int64)
+        prefix_words = np.empty((len(counter_blocks), 3), dtype=np.uint32)
+        ctr0 = np.empty(len(counter_blocks), dtype=np.uint64)
+        for i, cb in enumerate(counter_blocks):
+            if len(cb) != 16:
+                raise ValueError("CTR counter block must be 16 bytes")
+            prefix_words[i, 0] = int.from_bytes(cb[0:4], "big")
+            prefix_words[i, 1] = int.from_bytes(cb[4:8], "big")
+            prefix_words[i, 2] = int.from_bytes(cb[8:12], "big")
+            ctr0[i] = int.from_bytes(cb[12:16], "big")
+        # Per-block message index and within-message block offset.
+        offsets = np.zeros(len(counter_blocks), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        counters = (
+            np.repeat(ctr0, counts) + within.astype(np.uint64)
+        ) & np.uint64(0xFFFFFFFF)
+        s0 = np.repeat(prefix_words[:, 0], counts) ^ rk[0]
+        s1 = np.repeat(prefix_words[:, 1], counts) ^ rk[1]
+        s2 = np.repeat(prefix_words[:, 2], counts) ^ rk[2]
+        s3 = counters.astype(np.uint32) ^ rk[3]
+        stream = self._rounds_vector(s0, s1, s2, s3)
+        out: list[bytes] = []
+        for i, length in enumerate(lengths):
+            start = int(offsets[i]) * 16
+            out.append(stream[start:start + max(length, 0)])
+        return out
+
+    def _rounds_vector(self, s0, s1, s2, s3) -> bytes:
+        """Run the full rounds over parallel uint32 state arrays."""
+        np = _np
+        t0, t1, t2, t3, sbox = _numpy_tables()
+        rk = self._rk_vector
+        blocks = len(s0)
+        k = 4
+        for _ in range(self._rounds - 1):
+            n0 = (
+                t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[k]
+            )
+            n1 = (
+                t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[k + 1]
+            )
+            n2 = (
+                t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[k + 2]
+            )
+            n3 = (
+                t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = n0, n1, n2, n3
+            k += 4
+        w0 = (
+            (sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
+        ) ^ rk[k]
+        w1 = (
+            (sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]
+        ) ^ rk[k + 1]
+        w2 = (
+            (sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]
+        ) ^ rk[k + 2]
+        w3 = (
+            (sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]
+        ) ^ rk[k + 3]
+        words = np.empty((blocks, 4), dtype=">u4")
+        words[:, 0] = w0
+        words[:, 1] = w1
+        words[:, 2] = w2
+        words[:, 3] = w3
+        return words.tobytes()

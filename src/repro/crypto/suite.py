@@ -17,14 +17,12 @@ import hashlib
 import hmac
 from typing import Protocol
 
+from repro.crypto.aes import xor_bytes
 from repro.crypto.gcm import AesGcm, AuthenticationError
 
-
-def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """Fast XOR of two equal-length byte strings via big-int arithmetic."""
-    return (
-        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
-    ).to_bytes(len(a), "little")
+# Batch items are (nonce, payload, aad) triples; payload is plaintext
+# for sealing and ciphertext||tag for opening.
+AeadItem = tuple[bytes, bytes, bytes]
 
 
 class AeadCipher(Protocol):
@@ -38,6 +36,33 @@ class AeadCipher(Protocol):
 
     def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
         ...
+
+
+def seal_blocks(cipher: AeadCipher, items: list[AeadItem]) -> list[bytes]:
+    """Encrypt many ``(nonce, plaintext, aad)`` items under one cipher.
+
+    Uses the cipher's native batch path when it has one (AES-GCM
+    vectorizes all CTR keystreams in a single pass; the memoized
+    wrapper records every sealed block) and falls back to per-item
+    :meth:`encrypt` otherwise.  Output is byte-identical either way.
+    """
+    native = getattr(cipher, "seal_blocks", None)
+    if native is not None:
+        return native(items)
+    return [cipher.encrypt(nonce, pt, aad) for nonce, pt, aad in items]
+
+
+def open_blocks(cipher: AeadCipher, items: list[AeadItem]) -> list[bytes]:
+    """Verify-and-decrypt many ``(nonce, data, aad)`` items.
+
+    Like :func:`seal_blocks`, dispatches to a native batch
+    implementation when available.  Any authentication failure raises
+    before plaintexts are returned.
+    """
+    native = getattr(cipher, "open_blocks", None)
+    if native is not None:
+        return native(items)
+    return [cipher.decrypt(nonce, data, aad) for nonce, data, aad in items]
 
 
 class AesGcmAead:
@@ -54,6 +79,12 @@ class AesGcmAead:
 
     def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
         return self._gcm.decrypt(nonce, data, aad)
+
+    def seal_blocks(self, items: list[AeadItem]) -> list[bytes]:
+        return self._gcm.seal_blocks(items)
+
+    def open_blocks(self, items: list[AeadItem]) -> list[bytes]:
+        return self._gcm.open_blocks(items)
 
 
 class Blake2Aead:
@@ -99,3 +130,23 @@ class Blake2Aead:
             raise AuthenticationError("tag mismatch")
         keystream = self._keystream(nonce, len(ciphertext))
         return xor_bytes(ciphertext, keystream)
+
+    def open_blocks(self, items: list[AeadItem]) -> list[bytes]:
+        """Batch open with the all-tags-first contract of the GCM path."""
+        for nonce, data, aad in items:
+            if len(nonce) != self.nonce_size:
+                raise ValueError("nonce must be 12 bytes")
+            if len(data) < self.tag_size:
+                raise AuthenticationError("message shorter than a tag")
+            tag = data[-self.tag_size:]
+            if not hmac.compare_digest(
+                tag, self._tag(nonce, data[:-self.tag_size], aad)
+            ):
+                raise AuthenticationError("tag mismatch")
+        return [
+            xor_bytes(
+                data[:-self.tag_size],
+                self._keystream(nonce, len(data) - self.tag_size),
+            )
+            for nonce, data, aad in items
+        ]

@@ -70,6 +70,11 @@ class ObliviousStateBackend:
         # Code sizes learned from account pages (needed to bound paging).
         self._code_sizes: dict[Address, int] = {}
 
+    @property
+    def client(self) -> PathOramClient:
+        """The underlying ORAM client (read-only observability access)."""
+        return self._client
+
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------

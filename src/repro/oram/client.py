@@ -26,8 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.kdf import Drbg
-from repro.crypto.suite import AeadCipher, Blake2Aead
+from repro.crypto.suite import AeadCipher, Blake2Aead, open_blocks, seal_blocks
 from repro.oram.server import OramServer, OramServerStall
+from repro.perf.memo import MemoizedAead
 
 BlockKey = bytes
 
@@ -54,17 +55,22 @@ class ClientStats:
     timeouts: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessSummary:
     """What the most recent :meth:`PathOramClient.access` cost.
 
     A cheap rolling record for the telemetry plane: span attributes read
     it right after an access without diffing cumulative stats.
+    ``memo_hits``/``memo_misses`` describe the decrypt-memo behaviour of
+    this access (both zero when memoization is disabled) — diagnostics
+    about the host-process cache, not part of the simulated protocol.
     """
 
     stalls_absorbed: int = 0
     stall_us: float = 0.0
     stash_blocks: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
 
 class StashOverflow(Exception):
@@ -108,6 +114,7 @@ class PathOramClient:
         cipher_factory=Blake2Aead,
         position_map: "PositionMapLike | None" = None,
         response_budget_us: float | None = None,
+        decrypt_memo_blocks: int | None = 4096,
     ) -> None:
         self.server = server
         self.block_size = block_size
@@ -118,6 +125,15 @@ class PathOramClient:
         self.response_budget_us = response_budget_us
         self._rng = rng or Drbg(key, personalization=b"oram-client")
         self._cipher: AeadCipher = cipher_factory(key)
+        # Decrypt memoization (repro.perf): path reads mostly decrypt
+        # blocks this client itself sealed, so a bounded plaintext cache
+        # keyed by ciphertext identity removes the bulk-decrypt cost
+        # without changing any simulated result.  ``None``/``0``
+        # disables it (the pre-memo behaviour, bit for bit).
+        self.memo: MemoizedAead | None = None
+        if decrypt_memo_blocks:
+            self.memo = MemoizedAead(self._cipher, decrypt_memo_blocks)
+            self._cipher = self.memo
         self._stash: dict[BlockKey, bytes] = {}
         self._nonce_counter = 0
         # Anti-rollback write counters, one per tree node (on-chip).
@@ -139,9 +155,7 @@ class PathOramClient:
     def _bucket_aad(node: int, version: int) -> bytes:
         return node.to_bytes(8, "big") + version.to_bytes(8, "big")
 
-    def _encrypt_slot(
-        self, kind: int, key: BlockKey, payload: bytes, aad: bytes = b""
-    ) -> bytes:
+    def _slot_body(self, kind: int, key: BlockKey, payload: bytes) -> bytes:
         if len(key) > 64:
             raise ValueError("block key too long")
         body = bytearray()
@@ -149,12 +163,21 @@ class PathOramClient:
         body.extend(len(key).to_bytes(2, "big"))
         body.extend(key.ljust(64, b"\x00"))
         body.extend(payload.ljust(self.block_size, b"\x00"))
+        return bytes(body)
+
+    def _next_nonce(self) -> bytes:
         # A monotonic counter guarantees nonce freshness; the ciphertext
         # is still re-randomized on every write-back.
         self._nonce_counter += 1
-        nonce = self._nonce_counter.to_bytes(12, "big")
+        return self._nonce_counter.to_bytes(12, "big")
+
+    def _encrypt_slot(
+        self, kind: int, key: BlockKey, payload: bytes, aad: bytes = b""
+    ) -> bytes:
+        body = self._slot_body(kind, key, payload)
+        nonce = self._next_nonce()
         self.stats.blocks_encrypted += 1
-        return nonce + self._cipher.encrypt(nonce, bytes(body), aad)
+        return nonce + self._cipher.encrypt(nonce, body, aad)
 
     def _decrypt_slot(
         self, blob: bytes, aad: bytes = b""
@@ -195,6 +218,8 @@ class PathOramClient:
         self.stats.accesses += 1
         stalls_before = self.stats.stalls_absorbed
         stall_us_before = self.stats.stall_us_absorbed
+        memo_hits_before = self.memo.stats.hits if self.memo else 0
+        memo_misses_before = self.memo.stats.misses if self.memo else 0
         leaf_count = self.server.leaf_count
 
         old_leaf = self._positions.get(key)
@@ -209,16 +234,25 @@ class PathOramClient:
         # state — stash, position map, node versions — untouched, and a
         # retry starts from exactly the pre-access state.
         buckets = self._read_path_within_budget(scanned_leaf, sim_time_us)
-        absorbed: list[tuple[BlockKey, bytes]] = []
+        items = []
         for node, node_blobs in buckets.items():
             aad = self._bucket_aad(node, self._node_versions.get(node, 0))
             for blob in node_blobs:
-                kind, block_key, payload = self._decrypt_slot(blob, aad)
-                if kind == _KIND_REAL:
-                    absorbed.append((block_key, payload))
-        for block_key, payload in absorbed:
-            if block_key not in self._stash:
-                self._stash[block_key] = payload
+                items.append((blob[:12], blob[12:], aad))
+        # One batch open for the whole path: every tag is verified
+        # before any plaintext is used, so the all-or-nothing guarantee
+        # above holds exactly as in the slot-at-a-time path.
+        plains = open_blocks(self._cipher, items)
+        self.stats.blocks_decrypted += len(items)
+        block_size = self.block_size
+        stash = self._stash
+        for plain in plains:
+            if plain[0] != _KIND_REAL:
+                continue
+            key_length = int.from_bytes(plain[1:3], "big")
+            block_key = plain[3:3 + key_length]
+            if block_key not in stash:
+                stash[block_key] = plain[67:67 + block_size]
 
         result = self._stash.get(key)
         if write_data is not None:
@@ -236,6 +270,10 @@ class PathOramClient:
             stalls_absorbed=self.stats.stalls_absorbed - stalls_before,
             stall_us=self.stats.stall_us_absorbed - stall_us_before,
             stash_blocks=len(self._stash),
+            memo_hits=(self.memo.stats.hits - memo_hits_before) if self.memo else 0,
+            memo_misses=(
+                self.memo.stats.misses - memo_misses_before
+            ) if self.memo else 0,
         )
         return result
 
@@ -272,17 +310,22 @@ class PathOramClient:
         """Greedy write-back: place stash blocks as deep as possible."""
         path = self.server.path_nodes(leaf)
         z = self.server.bucket_size
-        new_buckets: dict[int, list[bytes]] = {}
         placed: set[BlockKey] = set()
-        # Deepest node first.
+        # Slot bodies are collected in the exact order the slot-at-a-time
+        # code sealed them — deepest bucket first, stash-order reals,
+        # then dummies — and nonces are drawn from the counter in that
+        # same order, so the batched write-back puts byte-identical
+        # ciphertexts on the wire.
+        slot_nodes: list[int] = []
+        items: list[tuple[bytes, bytes, bytes]] = []
         for depth in range(len(path) - 1, -1, -1):
             node = path[depth]
             version = self._node_versions.get(node, 0) + 1
             self._node_versions[node] = version
             aad = self._bucket_aad(node, version)
-            chosen: list[bytes] = []
+            filled = 0
             for block_key, payload in self._stash.items():
-                if len(chosen) >= z:
+                if filled >= z:
                     break
                 if block_key in placed:
                     continue
@@ -290,13 +333,27 @@ class PathOramClient:
                 if block_leaf is None:
                     continue
                 if self._node_on_path(node, depth, block_leaf):
-                    chosen.append(
-                        self._encrypt_slot(_KIND_REAL, block_key, payload, aad)
-                    )
+                    items.append((
+                        self._next_nonce(),
+                        self._slot_body(_KIND_REAL, block_key, payload),
+                        aad,
+                    ))
+                    slot_nodes.append(node)
                     placed.add(block_key)
-            while len(chosen) < z:
-                chosen.append(self._dummy_slot(aad))
-            new_buckets[node] = chosen
+                    filled += 1
+            while filled < z:
+                items.append((
+                    self._next_nonce(),
+                    self._slot_body(_KIND_DUMMY, b"", b""),
+                    aad,
+                ))
+                slot_nodes.append(node)
+                filled += 1
+        sealed = seal_blocks(self._cipher, items)
+        self.stats.blocks_encrypted += len(items)
+        new_buckets: dict[int, list[bytes]] = {}
+        for node, (nonce, _body, _aad), blob in zip(slot_nodes, items, sealed):
+            new_buckets.setdefault(node, []).append(nonce + blob)
         for block_key in placed:
             del self._stash[block_key]
         self.server.write_path(leaf, new_buckets, sim_time_us)

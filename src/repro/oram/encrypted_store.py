@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.crypto.suite import Blake2Aead
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreAccessEvent:
     """What the SP sees: an opaque but *stable* handle per key."""
 
@@ -35,9 +35,18 @@ class EncryptedStoreTrace:
 class EncryptedKvStore:
     """Encrypted values, deterministic handles, no access-pattern hiding."""
 
-    def __init__(self, key: bytes) -> None:
+    def __init__(self, key: bytes, decrypt_memo_blocks: int | None = None) -> None:
         self._handle_key = hashlib.blake2b(key, digest_size=32, person=b"handlederiv").digest()
         self._cipher = Blake2Aead(key)
+        # Optional decrypt memoization (repro.perf), off by default for
+        # the strawman.  A tampered blob (fault_hook) changes the cache
+        # key, misses, and fails real authentication as before.
+        self.memo = None
+        if decrypt_memo_blocks:
+            from repro.perf.memo import MemoizedAead
+
+            self.memo = MemoizedAead(self._cipher, decrypt_memo_blocks)
+            self._cipher = self.memo
         self._data: dict[bytes, bytes] = {}
         self._nonce = 0
         self.trace = EncryptedStoreTrace()

@@ -33,7 +33,7 @@ class OramServerStall(Exception):
         self.delay_us = delay_us
 
 
-@dataclass
+@dataclass(slots=True)
 class PathAccessEvent:
     """What the SP sees for one ORAM access: a physical path, a time."""
 

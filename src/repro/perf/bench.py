@@ -1,0 +1,271 @@
+"""perf-bench: before/after wall-clock comparison of the crypto/ORAM substrate.
+
+The benchmark runs one deterministic ORAM workload twice over the
+paper's cipher (AES-GCM):
+
+* **baseline** — the frozen pre-optimization crypto
+  (:class:`~repro.perf.reference.ReferenceAesGcm`, block-at-a-time CTR,
+  per-byte XOR) with decrypt memoization disabled: the substrate exactly
+  as the repo shipped it before the ``repro.perf`` pass;
+* **optimized** — the current :class:`~repro.crypto.suite.AesGcmAead`
+  (vectorized batch keystreams, table-local GHASH) with the decrypt
+  memo enabled.
+
+Because the optimizations are exact rewrites, both sides must produce
+**byte-identical simulated outputs** — the read plaintexts, the
+ciphertext tree the SP stores, and the adversary-visible
+:class:`~repro.oram.server.PathAccessEvent` stream are digested and
+compared, and any mismatch fails the bench regardless of speedup.
+
+Each side runs under :mod:`cProfile`; per-function time is attributed to
+the telemetry critical-path layers (``encryption``, ``oram_storage``,
+``execution``, ``other``) by source path, so the report shows *where*
+the time went, not just how much.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import json
+import pstats
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import Drbg
+from repro.crypto.suite import AesGcmAead
+from repro.oram.client import PathOramClient
+from repro.oram.server import OramServer, PathAccessEvent
+from repro.perf.reference import ReferenceAesGcm
+
+# Source-path → telemetry critical-path layer.  Order matters: first
+# match wins (crypto before oram, since the ORAM client calls into it).
+_LAYER_RULES = (
+    ("/crypto/", "encryption"),
+    ("/perf/", "encryption"),  # memo + batch dispatch sit on the crypto path
+    ("/oram/", "oram_storage"),
+    ("/evm/", "execution"),
+    ("/hardware/", "execution"),
+)
+
+
+def _layer_for(filename: str) -> str:
+    normalized = filename.replace("\\", "/")
+    for needle, layer in _LAYER_RULES:
+        if needle in normalized:
+            return layer
+    return "other"
+
+
+@dataclass
+class PerfBenchConfig:
+    """Workload shape for perf-bench (defaults run in a few seconds)."""
+
+    seed: int = 7
+    oram_height: int = 5
+    block_size: int = 1024
+    accesses: int = 48
+    working_set: int = 24
+    memo_blocks: int = 4096
+    min_speedup: float = 3.0
+
+    @classmethod
+    def smoke(cls, **overrides) -> "PerfBenchConfig":
+        """A CI-sized run: same checks, fraction of the wall clock."""
+        defaults = dict(oram_height=4, accesses=16, working_set=8)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class SideResult:
+    """One side (baseline or optimized) of the comparison."""
+
+    name: str
+    wall_s: float
+    layer_seconds: dict[str, float]
+    digests: dict[str, str]
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+
+@dataclass
+class PerfBenchReport:
+    config: PerfBenchConfig
+    baseline: SideResult
+    optimized: SideResult
+    identical: bool = False
+    speedup: float = 0.0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.identical and self.speedup >= self.config.min_speedup
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"perf-bench: {self.config.accesses} ORAM accesses, "
+            f"height {self.config.oram_height}, "
+            f"{self.config.block_size} B blocks, AES-GCM",
+            f"  baseline  (reference crypto, no memo): "
+            f"{self.baseline.wall_s:8.3f} s",
+            f"  optimized (batch crypto + memo):       "
+            f"{self.optimized.wall_s:8.3f} s",
+            f"  speedup: {self.speedup:.1f}x "
+            f"(gate: >= {self.config.min_speedup:g}x)",
+            f"  outputs byte-identical: {'yes' if self.identical else 'NO'}"
+            + (f" (mismatched: {', '.join(self.mismatches)})"
+               if self.mismatches else ""),
+            f"  decrypt memo: {self.optimized.memo_hits} hits / "
+            f"{self.optimized.memo_misses} misses",
+            "  profile attribution (seconds by critical-path layer):",
+        ]
+        layers = sorted(
+            set(self.baseline.layer_seconds) | set(self.optimized.layer_seconds)
+        )
+        for layer in layers:
+            before = self.baseline.layer_seconds.get(layer, 0.0)
+            after = self.optimized.layer_seconds.get(layer, 0.0)
+            lines.append(f"    {layer:<14} {before:8.3f} -> {after:8.3f}")
+        return lines
+
+    def to_json(self) -> str:
+        def side(result: SideResult) -> dict:
+            return {
+                "wall_s": round(result.wall_s, 4),
+                "layer_seconds": {
+                    layer: round(seconds, 4)
+                    for layer, seconds in sorted(result.layer_seconds.items())
+                },
+                "digests": result.digests,
+                "memo_hits": result.memo_hits,
+                "memo_misses": result.memo_misses,
+            }
+
+        return json.dumps(
+            {
+                "bench": "perf",
+                "workload": {
+                    "seed": self.config.seed,
+                    "oram_height": self.config.oram_height,
+                    "block_size": self.config.block_size,
+                    "accesses": self.config.accesses,
+                    "working_set": self.config.working_set,
+                    "memo_blocks": self.config.memo_blocks,
+                    "cipher": "aes-gcm",
+                },
+                "baseline": side(self.baseline),
+                "optimized": side(self.optimized),
+                "speedup": round(self.speedup, 2),
+                "min_speedup": self.config.min_speedup,
+                "identical_outputs": self.identical,
+                "passed": self.passed,
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+
+
+def _workload(config: PerfBenchConfig) -> list[tuple[bytes, bytes | None]]:
+    """The deterministic access sequence both sides replay."""
+    rng = Drbg(config.seed.to_bytes(8, "big"), personalization=b"perf-bench")
+    ops: list[tuple[bytes, bytes | None]] = []
+    for index in range(config.accesses):
+        key = b"blk-%04d" % rng.randint(config.working_set)
+        if index % 3 != 2:
+            payload = bytes([rng.randint(256)]) * min(config.block_size, 128)
+            ops.append((key, payload))
+        else:
+            ops.append((key, None))
+    return ops
+
+
+def _digest_events(events: list[PathAccessEvent]) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for event in events:
+        digest.update(event.op_index.to_bytes(8, "big"))
+        digest.update(event.leaf.to_bytes(8, "big"))
+        for node in event.node_indices:
+            digest.update(node.to_bytes(8, "big"))
+        digest.update(repr(event.sim_time_us).encode())
+    return digest.hexdigest()
+
+
+def _digest_server(server: OramServer) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for node, bucket in enumerate(server._buckets):
+        digest.update(node.to_bytes(8, "big"))
+        for blob in bucket:
+            digest.update(blob)
+    return digest.hexdigest()
+
+
+def _run_side(config: PerfBenchConfig, optimized: bool) -> SideResult:
+    key = hashlib.blake2b(
+        config.seed.to_bytes(8, "big"), digest_size=32, person=b"perf-key"
+    ).digest()
+    server = OramServer(height=config.oram_height)
+    events: list[PathAccessEvent] = []
+    server.add_observer(events.append)
+    client = PathOramClient(
+        server,
+        key,
+        block_size=config.block_size,
+        cipher_factory=AesGcmAead if optimized else ReferenceAesGcm,
+        decrypt_memo_blocks=config.memo_blocks if optimized else None,
+    )
+    ops = _workload(config)
+
+    reads = hashlib.blake2b(digest_size=16)
+    profile = cProfile.Profile()
+    started = time.perf_counter()
+    profile.enable()
+    for access_key, payload in ops:
+        result = client.access(access_key, payload)
+        reads.update(result if result is not None else b"\x00")
+    profile.disable()
+    wall_s = time.perf_counter() - started
+
+    layer_seconds: dict[str, float] = {}
+    stats = pstats.Stats(profile)
+    for (filename, _line, _name), row in stats.stats.items():  # type: ignore[attr-defined]
+        tottime = row[2]
+        if tottime <= 0.0:
+            continue
+        layer = _layer_for(filename)
+        layer_seconds[layer] = layer_seconds.get(layer, 0.0) + tottime
+
+    return SideResult(
+        name="optimized" if optimized else "baseline",
+        wall_s=wall_s,
+        layer_seconds=layer_seconds,
+        digests={
+            "reads": reads.hexdigest(),
+            "server_buckets": _digest_server(server),
+            "access_events": _digest_events(events),
+        },
+        memo_hits=client.memo.stats.hits if client.memo else 0,
+        memo_misses=client.memo.stats.misses if client.memo else 0,
+    )
+
+
+def run_perf_bench(config: PerfBenchConfig | None = None) -> PerfBenchReport:
+    config = config or PerfBenchConfig()
+    baseline = _run_side(config, optimized=False)
+    optimized = _run_side(config, optimized=True)
+    mismatches = [
+        name
+        for name in baseline.digests
+        if baseline.digests[name] != optimized.digests[name]
+    ]
+    speedup = (
+        baseline.wall_s / optimized.wall_s if optimized.wall_s > 0 else float("inf")
+    )
+    return PerfBenchReport(
+        config=config,
+        baseline=baseline,
+        optimized=optimized,
+        identical=not mismatches,
+        speedup=speedup,
+        mismatches=mismatches,
+    )

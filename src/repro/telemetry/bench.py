@@ -92,6 +92,12 @@ class TraceBenchReport:
     reconciliation: list[ReconciliationRow] = field(default_factory=list)
     chrome_json: str = ""
     prometheus_text: str = ""
+    # Host-process decrypt-memo accounting across the fleet's ORAM
+    # clients (repro.perf).  Diagnostics only: deliberately kept out of
+    # the trace/metrics exports so memo-on and memo-off runs stay
+    # byte-identical on the wire.
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     @property
     def max_reconciliation_error_us(self) -> float:
@@ -122,6 +128,13 @@ class TraceBenchReport:
             lines.append(
                 f"  max error {self.max_reconciliation_error_us:.2e} us, "
                 f"max per-request residual {self.residual_us:.2e} us"
+            )
+        if self.memo_hits or self.memo_misses:
+            lookups = self.memo_hits + self.memo_misses
+            lines.append(
+                f"oram decrypt memo: {self.memo_hits}/{lookups} hits "
+                f"({self.memo_hits / lookups:.0%}; host-process cache, "
+                "not simulated time)"
             )
         return lines
 
@@ -225,6 +238,12 @@ def run_trace_bench(config: TraceBenchConfig, evalset) -> TraceBenchReport:
         reconciliation = (
             _reconcile(service, buckets) if config.sample_rate >= 1.0 else []
         )
+        memo_hits = memo_misses = 0
+        for device in service.devices:
+            backend = device.oram_backend
+            if backend is not None and backend.client.memo is not None:
+                memo_hits += backend.client.memo.stats.hits
+                memo_misses += backend.client.memo.stats.misses
         return TraceBenchReport(
             seed=config.seed,
             sample_rate=config.sample_rate,
@@ -236,6 +255,8 @@ def run_trace_bench(config: TraceBenchConfig, evalset) -> TraceBenchReport:
             reconciliation=reconciliation,
             chrome_json=render_chrome_trace(tracer),
             prometheus_text=render_prometheus(metrics, layer_totals=buckets),
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
         )
     finally:
         uninstall_tracer(service.clock)

@@ -44,7 +44,7 @@ from typing import Callable, Iterator
 from repro.crypto.kdf import Drbg
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanEvent:
     """A point-in-time annotation on a span (fault fired, failover, ...)."""
 
@@ -53,7 +53,7 @@ class SpanEvent:
     attributes: dict[str, object] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed operation: a half-open virtual-time interval on a layer.
 
