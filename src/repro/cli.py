@@ -11,6 +11,7 @@
     python -m repro.cli chaos-bench         # fault injection + recovery sweep
     python -m repro.cli trace-bench         # traced run + critical-path table
     python -m repro.cli perf-bench          # crypto/ORAM before/after speedup
+    python -m repro.cli recovery-bench      # crash recovery + rollback gates
 
 ``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
 sweep rows across processes (deterministic: results are reduced in
@@ -401,6 +402,31 @@ def cmd_perf_bench(args) -> int:
     return 0
 
 
+def cmd_recovery_bench(args) -> int:
+    from repro.recovery.bench import RecoveryBenchConfig, run_recovery_bench
+
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if args.smoke:
+        config = RecoveryBenchConfig.smoke(seed=args.seed)
+    else:
+        config = RecoveryBenchConfig(seed=args.seed)
+    report = run_recovery_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.passed:
+        print("RECOVERY-BENCH FAILED: "
+              + "; ".join(report.gate_failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -517,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
     perf_bench.add_argument("--json-out", default="",
                             help="write the BENCH_perf.json report here")
     perf_bench.set_defaults(func=cmd_perf_bench)
+
+    recovery_bench = sub.add_parser(
+        "recovery-bench",
+        help="crash/restart chaos + rollback-attack gates (repro.recovery)",
+    )
+    recovery_bench.add_argument("--seed", type=int, default=1)
+    recovery_bench.add_argument("--smoke", action="store_true",
+                                help="CI-sized run (same gates, faster)")
+    recovery_bench.add_argument("--json-out", default="",
+                                help="write the BENCH_recovery.json report here")
+    recovery_bench.set_defaults(func=cmd_recovery_bench)
     return parser
 
 

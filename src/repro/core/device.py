@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.crypto.kdf import Drbg
 from repro.crypto.puf import Manufacturer
-from repro.hardware.csu import BootImage, ConfigurationSecurityUnit
+from repro.hardware.csu import BootImage, ConfigurationSecurityUnit, MonotonicCounter
 from repro.hardware.hevm import HevmCore
 from repro.hardware.resources import max_hevms
 from repro.hardware.timing import CostModel, SimClock
@@ -86,6 +86,15 @@ class HarDTAPEDevice:
         self.cost = cost or CostModel()
         puf, identity = manufacturer.provision(serial)
         self.csu = ConfigurationSecurityUnit(puf, identity)
+        self.features = features
+        # Restart support (repro.recovery): the pieces a cold restart
+        # reuses, plus the hardware monotonic counter that outlives the
+        # firmware and pins the newest durable checkpoint.
+        self._boot_image = boot_image
+        self._direct_backend = direct_backend
+        self._oram_server = oram_server
+        self.restarts = 0
+        self.nvram = MonotonicCounter()
         rng = Drbg(puf.derive_key(b"device-rng"))
         self.cores = [
             HevmCore(
@@ -151,3 +160,43 @@ class HarDTAPEDevice:
     @property
     def idle_hevms(self) -> int:
         return self.hypervisor.scheduler.idle_count
+
+    # ------------------------------------------------------------------
+    # Cold restart (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def restart_hypervisor(
+        self,
+        oram_client: PathOramClient | None = None,
+        oram_key: bytes | None = None,
+    ) -> Hypervisor:
+        """Cold-restart the firmware after a :class:`HypervisorCrashError`.
+
+        Re-runs secure boot and builds a *successor* Hypervisor at the
+        next generation.  Everything volatile is gone: cores are reset,
+        sessions are empty, and the ORAM client is whatever the caller
+        recovered — pass the client rebuilt from checkpoint + journal,
+        or ``None`` to come up without an oblivious backend (a device
+        that lost its trust state and awaits re-provisioning).
+        """
+        self.restarts += 1
+        for core in self.cores:
+            core.reset()
+        self.oram_backend = None
+        if oram_client is not None and self._oram_server is not None:
+            self.oram_backend = ObliviousStateBackend(
+                oram_client, clock=lambda: self.clock.now_us
+            )
+        self.hypervisor = Hypervisor(
+            csu=self.csu,
+            boot_image=self._boot_image,
+            cores=self.cores,
+            clock=self.clock,
+            cost=self.cost,
+            direct_backend=self._direct_backend,
+            oram_backend=self.oram_backend,
+            features=self.features,
+            oram_key=oram_key,
+            generation=self.restarts,
+        )
+        return self.hypervisor

@@ -43,6 +43,8 @@ class ServiceStats:
     # bundles bounced for naming a session this device never opened.
     sync_retries: int = 0
     unknown_sessions: int = 0
+    # Recovery-plane observability: Hypervisor cold restarts survived.
+    hypervisor_restarts: int = 0
 
 
 class HarDTAPEService:
@@ -108,6 +110,30 @@ class HarDTAPEService:
         self.stats = ServiceStats()
         if need_oram:
             self._initial_oram_load()
+
+    # ------------------------------------------------------------------
+    # Shared ORAM trust state (recovery plane)
+    # ------------------------------------------------------------------
+
+    @property
+    def shared_oram_client(self):
+        """The deployment's single ORAM client, or ``None`` without ORAM."""
+        for device in self.devices:
+            if device.oram_backend is not None:
+                return device.oram_backend.client
+        return None
+
+    def install_oram_client(self, client) -> None:
+        """Repoint every device's oblivious backend at ``client``.
+
+        The recovery path for a deployment-shared client: after a crash
+        the successor client (rebuilt from checkpoint + journal) must
+        replace the dead one on *all* devices, or the fleet would split
+        into divergent stash/position/version views of one tree.
+        """
+        for device in self.devices:
+            if device.oram_backend is not None:
+                device.oram_backend.replace_client(client)
 
     # ------------------------------------------------------------------
     # Block synchronization (workflow step 11)

@@ -150,3 +150,27 @@ class Blake2Aead:
             )
             for nonce, data, aad in items
         ]
+
+
+class CounterNonceSealer:
+    """Sequence-numbered sealing for the recovery plane.
+
+    Checkpoint and journal records are identified by a strictly
+    increasing sequence number, so the AEAD nonce *is* the sequence
+    number: uniqueness is structural (the journal never reuses a seq)
+    instead of depending on persisted counter state — exactly what a
+    sealer used to survive crashes must avoid.  The AAD binds each
+    record to its role and position so the untrusted store cannot
+    splice records across kinds or epochs.
+    """
+
+    def __init__(self, key: bytes, cipher_factory=Blake2Aead) -> None:
+        self._cipher: AeadCipher = cipher_factory(key)
+
+    def seal(self, seq: int, plaintext: bytes, aad: bytes = b"") -> bytes:
+        nonce = seq.to_bytes(self._cipher.nonce_size, "big")
+        return self._cipher.encrypt(nonce, plaintext, aad)
+
+    def open(self, seq: int, data: bytes, aad: bytes = b"") -> bytes:
+        nonce = seq.to_bytes(self._cipher.nonce_size, "big")
+        return self._cipher.decrypt(nonce, data, aad)

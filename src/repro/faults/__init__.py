@@ -34,8 +34,10 @@ from repro.faults.errors import (
     FailedOverError,
     FaultError,
     HevmCrashError,
+    HypervisorCrashError,
     OramServerStall,
     OramTimeoutError,
+    RollbackDetectedError,
     SyncError,
     UnknownSessionError,
 )
@@ -78,10 +80,12 @@ __all__ = [
     "FaultRule",
     "FaultyOramServer",
     "HevmCrashError",
+    "HypervisorCrashError",
     "InjectionRecord",
     "OramServerStall",
     "OramTimeoutError",
     "RecoveryOutcome",
+    "RollbackDetectedError",
     "ResilientServiceExecutor",
     "RetryPolicy",
     "SyncError",

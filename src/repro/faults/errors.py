@@ -19,7 +19,11 @@ here for one-stop imports:
   :class:`~repro.oram.server.OramServerStall` — the untrusted store
   stalling past (or within) the client's virtual-time budget,
 * :class:`~repro.hypervisor.hypervisor.UnknownSessionError` — a bundle
-  for a session id the Hypervisor never established.
+  for a session id the Hypervisor never established,
+* :class:`~repro.hypervisor.hypervisor.HypervisorCrashError` — the whole
+  Hypervisor cold-restarted, losing volatile trusted state,
+* :class:`~repro.oram.client.RollbackDetectedError` — the SP served an
+  authentic-but-stale ORAM tree (freshness violation, not corruption).
 """
 
 from __future__ import annotations
@@ -27,9 +31,9 @@ from __future__ import annotations
 from repro.crypto.gcm import AuthenticationError
 from repro.hypervisor.attestation import AttestationError
 from repro.hypervisor.channel import ChannelError
-from repro.hypervisor.hypervisor import UnknownSessionError
+from repro.hypervisor.hypervisor import HypervisorCrashError, UnknownSessionError
 from repro.hypervisor.sync import SyncError
-from repro.oram.client import OramTimeoutError
+from repro.oram.client import OramTimeoutError, RollbackDetectedError
 from repro.oram.server import OramServerStall
 
 
@@ -115,8 +119,10 @@ __all__ = [
     "FailedOverError",
     "FaultError",
     "HevmCrashError",
+    "HypervisorCrashError",
     "OramServerStall",
     "OramTimeoutError",
+    "RollbackDetectedError",
     "SyncError",
     "UnknownSessionError",
 ]

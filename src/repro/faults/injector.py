@@ -124,9 +124,15 @@ class FaultInjector:
             device.hypervisor.synchronizer.faults = self
         if device.oram_backend is not None:
             client = device.oram_backend._client
-            if faulty_server is None:
-                faulty_server = FaultyOramServer(client.server, self)
-            client.server = faulty_server
+            if isinstance(client.server, FaultyOramServer):
+                # Already armed (e.g. re-arming after a Hypervisor
+                # restart re-installed the shared client): wrapping
+                # twice would double every decision draw.
+                pass
+            else:
+                if faulty_server is None:
+                    faulty_server = FaultyOramServer(client.server, self)
+                client.server = faulty_server
         return self
 
     def arm_store(self, store) -> "FaultInjector":
@@ -201,6 +207,27 @@ class FaultInjector:
                 f"crashed after {txs_completed} tx(s)",
             )
             raise HevmCrashError(core.core_id, txs_completed)
+
+    # -- Hypervisor crash hooks -----------------------------------------
+
+    def _maybe_crash(self, hypervisor, phase: str, now_us: float) -> None:
+        if self.plan.decide(FaultKind.HYPERVISOR_CRASH, now_us):
+            error = hypervisor.crash(phase)
+            self._fired(
+                FaultKind.HYPERVISOR_CRASH,
+                f"hypervisor.{phase}",
+                now_us,
+                f"generation {hypervisor.generation} died",
+            )
+            raise error
+
+    def on_bundle_admission(self, hypervisor, now_us: float) -> None:
+        """Crash point A: right after bundle admission, pre-assignment."""
+        self._maybe_crash(hypervisor, "bundle.admission", now_us)
+
+    def on_bundle_sealing(self, hypervisor, now_us: float) -> None:
+        """Crash point B: execution done, trace not yet sealed/sent."""
+        self._maybe_crash(hypervisor, "bundle.sealing", now_us)
 
     # -- attestation hook -----------------------------------------------
 

@@ -33,6 +33,7 @@ class FaultKind:
     HEVM_CRASH = "hevm-crash"              # core dies mid-bundle
     ATTESTATION_FAIL = "attestation-fail"  # report tampered before the user
     SYNC_STALE_HEADER = "sync-stale-header"  # Node serves a forked root
+    HYPERVISOR_CRASH = "hypervisor-crash"  # whole Hypervisor cold-restarts
 
     ALL = (
         DMA_DROP,
@@ -43,6 +44,7 @@ class FaultKind:
         HEVM_CRASH,
         ATTESTATION_FAIL,
         SYNC_STALE_HEADER,
+        HYPERVISOR_CRASH,
     )
 
 

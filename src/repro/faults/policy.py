@@ -80,9 +80,12 @@ class CircuitBreaker:
     """Count failures per target; hold the target open past a threshold.
 
     Closed → open after ``failure_threshold`` consecutive failures; open
-    rejects with :class:`CircuitOpenError` until ``reset_after_us`` of
+    rejects with :class:`CircuitOpenError` until the cool-down window of
     virtual time passes, then one trial call is let through (half-open):
-    success closes the breaker, failure re-opens it for another window.
+    success closes the breaker *and* resets the window to its base;
+    a failed trial re-opens it with a **doubled** window (capped at
+    ``max_reset_us``), so a persistently sick device backs off
+    geometrically instead of getting probed at a fixed cadence.
     """
 
     def __init__(
@@ -90,32 +93,60 @@ class CircuitBreaker:
         target: str,
         failure_threshold: int = 5,
         reset_after_us: float = 1_000_000.0,
+        max_reset_us: float | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("need failure_threshold >= 1")
         self.target = target
         self.failure_threshold = failure_threshold
         self.reset_after_us = reset_after_us
+        self.max_reset_us = (
+            max_reset_us if max_reset_us is not None else reset_after_us * 8.0
+        )
+        if self.max_reset_us < reset_after_us:
+            raise ValueError("max_reset_us must be >= reset_after_us")
+        self._current_reset_us = reset_after_us
         self._consecutive_failures = 0
         self._open_until_us: float | None = None
+        self._half_open = False
 
     @property
     def is_open(self) -> bool:
         return self._open_until_us is not None
 
+    @property
+    def current_reset_us(self) -> float:
+        """The cool-down the *next* open (or re-open) will use."""
+        return self._current_reset_us
+
     def allow(self, now_us: float) -> None:
         """Raise :class:`CircuitOpenError` while the cool-down holds."""
-        if self._open_until_us is not None and now_us < self._open_until_us:
+        if self._open_until_us is None:
+            return
+        if now_us < self._open_until_us:
             raise CircuitOpenError(self.target, self._open_until_us)
+        # Window elapsed: this call is the half-open trial.
+        self._half_open = True
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
         self._open_until_us = None
+        self._half_open = False
+        self._current_reset_us = self.reset_after_us
 
     def record_failure(self, now_us: float) -> None:
+        if self._half_open:
+            # The trial call failed: re-open immediately with a doubled
+            # (capped) window — don't wait for the threshold again.
+            self._half_open = False
+            self._current_reset_us = min(
+                self._current_reset_us * 2.0, self.max_reset_us
+            )
+            self._open_until_us = now_us + self._current_reset_us
+            return
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.failure_threshold:
-            self._open_until_us = now_us + self.reset_after_us
+            self._open_until_us = now_us + self._current_reset_us
 
 
 @dataclass
@@ -190,10 +221,18 @@ class ResilientServiceExecutor:
         metrics=None,
         failure_threshold: int = 5,
         breaker_reset_us: float = 1_000_000.0,
+        supervisor=None,
     ) -> None:
         self.service = service
         self.retry = retry or RetryPolicy()
         self._metrics = metrics
+        # Recovery-plane escalation (``repro.recovery``): when an error
+        # is not retryable in place (HypervisorCrashError,
+        # RollbackDetectedError), the supervisor may repair the world —
+        # cold-restart the Hypervisor, re-sync the ORAM — and report the
+        # error as now-retryable.  ``None`` keeps the historical
+        # behaviour: unrecoverable errors propagate immediately.
+        self._supervisor = supervisor
         self.breakers = {
             index: CircuitBreaker(
                 f"device{index}", failure_threshold, breaker_reset_us
@@ -266,8 +305,19 @@ class ResilientServiceExecutor:
             except CircuitOpenError as error:
                 last_error = error  # not a new device failure: no count
             except Exception as error:
-                if not self.retry.is_recoverable(error):
-                    raise  # untyped/unrecoverable: a bug, not a fault
+                recoverable = self.retry.is_recoverable(error)
+                if not recoverable and self._supervisor is not None:
+                    recoverable = self._supervisor.intervene(error, current)
+                if not recoverable:
+                    # Untyped/unrepairable: a bug, not a fault — but the
+                    # attempts still consumed virtual slot time, so hand
+                    # the accounting to the gateway before propagating.
+                    request.recovery = outcome
+                    try:
+                        error.service_us = clock.now_us - attempt_start
+                    except AttributeError:  # pragma: no cover - frozen exc
+                        pass
+                    raise
                 last_error = error
                 breaker.record_failure(clock.now_us)
                 outcome.recovered_errors.append(type(error).__name__)

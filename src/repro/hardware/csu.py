@@ -80,6 +80,37 @@ class ConfigurationSecurityUnit:
         """The Manufacturer-proposed secure randomness source."""
         return self._puf.secure_rng(label)
 
+    def derive_sealing_key(self, label: bytes) -> bytes:
+        """A PUF-bound key for sealing state to untrusted storage.
+
+        Re-derivable on every boot of the *same* chip (the recovery
+        plane's requirement) and never available off-package — exactly
+        the device-key property, under a domain-separated label.
+        """
+        return self._puf.derive_key(b"seal:" + label)
+
+
+@dataclass
+class MonotonicCounter:
+    """A tiny NVRAM counter that survives Hypervisor restarts.
+
+    Models the anti-rollback hardware monotonic counter (e.g. RPMB or
+    fused NVRAM): the recovery plane advances it to the checkpoint
+    sequence it just durably wrote, and at restart refuses any store
+    whose newest record is older than the counter — the defense against
+    an SP rolling back the *journal* itself, which no amount of sealing
+    can catch.
+    """
+
+    value: int = 0
+
+    def advance_to(self, value: int) -> None:
+        if value < self.value:
+            raise ValueError(
+                f"monotonic counter cannot move backward ({self.value} -> {value})"
+            )
+        self.value = value
+
 
 def verify_boot_receipt(
     receipt: BootReceipt,

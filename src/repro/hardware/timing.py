@@ -74,6 +74,14 @@ class CostModel:
     attestation_us: float = 45_000.0    # one-time per session
     exception_handling_us: float = 2.0  # HEVM -> Hypervisor trap
 
+    # --- Recovery plane (repro.recovery) ---------------------------------
+    # Cold restart of the Hypervisor firmware: secure boot + HEVM resets.
+    hypervisor_reboot_us: float = 150_000.0
+    # Unsealing and installing the latest checkpoint image.
+    checkpoint_restore_us: float = 8_000.0
+    # Applying one sealed journal record during replay.
+    journal_replay_record_us: float = 3.0
+
     # --- A.E.DMA (AES-GCM hardware) --------------------------------------
     aes_gcm_us_per_kb: float = 9.0
     aes_gcm_setup_us: float = 1.0

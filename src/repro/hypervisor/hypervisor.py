@@ -75,6 +75,25 @@ class BundleRejected(Exception):
     """Bundle refused at admission (gas policy, §IV-B DoS protection)."""
 
 
+class HypervisorCrashError(Exception):
+    """The Hypervisor died (power loss, firmware panic, watchdog reset).
+
+    All volatile trusted state — live sessions, the in-memory ORAM
+    client, scheduler queues — is gone.  Defined here (not in
+    ``repro.faults``) because the crash is a property of the substrate;
+    the injector merely decides *when* it happens.  Recovery is a cold
+    restart through ``repro.recovery``: unseal checkpoint, replay
+    journal, re-attest every session.
+    """
+
+    def __init__(self, serial: bytes, phase: str) -> None:
+        super().__init__(
+            f"hypervisor on device {serial.hex()[:8]} crashed during {phase}"
+        )
+        self.serial = serial
+        self.phase = phase
+
+
 class UnknownSessionError(KeyError):
     """A bundle arrived for a session id this Hypervisor never established.
 
@@ -121,6 +140,7 @@ class Hypervisor:
         features: SecurityFeatures,
         oram_key: bytes | None = None,
         max_bundle_gas: int | None = 2_000_000_000,
+        generation: int = 0,
     ) -> None:
         self._csu = csu
         self.boot_receipt: BootReceipt = csu.secure_boot(boot_image)
@@ -138,9 +158,30 @@ class Hypervisor:
             if oram_backend is not None
             else None
         )
-        self._rng: Drbg = csu.secure_rng(b"hypervisor")
+        # ``generation`` counts cold restarts of this device's firmware.
+        # Each generation salts its DRBG personalization so a restarted
+        # Hypervisor never replays the random stream the pre-crash one
+        # already consumed (session keys, DH keys).  Generation 0 keeps
+        # the historical label, so crash-free runs are byte-identical.
+        self.generation = generation
+        rng_label = (
+            b"hypervisor"
+            if generation == 0
+            else b"hypervisor-gen%d" % generation
+        )
+        self._rng: Drbg = csu.secure_rng(rng_label)
         self._sessions: dict[bytes, Session] = {}
         self.stats = HypervisorStats()
+        # Crash modelling (``repro.faults`` HYPERVISOR_CRASH): a crashed
+        # instance refuses all work; the device builds a *new* instance
+        # at the next generation to recover.
+        self.crashed = False
+        # Recovery seam (``repro.recovery``): a RecoveryManager arms
+        # itself here to journal session establishment and sync roots.
+        self.recovery = None
+        # The most recent Merkle root the synchronizer verified; part of
+        # the trusted state a checkpoint must pin.
+        self.last_verified_root: bytes | None = None
         # Fault-injection plane (``repro.faults``): ``None`` in production;
         # a :class:`~repro.faults.injector.FaultInjector` arms itself here
         # to exercise the exception paths this firmware is charged with.
@@ -155,6 +196,25 @@ class Hypervisor:
         self.max_bundle_gas = max_bundle_gas
 
     # ------------------------------------------------------------------
+    # Crash modelling
+    # ------------------------------------------------------------------
+
+    def crash(self, phase: str) -> HypervisorCrashError:
+        """Kill this instance: volatile trusted state is lost, now.
+
+        Returns (does not raise) the typed error so the injector can
+        decide how it propagates.  The instance stays permanently dead —
+        recovery builds a successor at ``generation + 1``.
+        """
+        self.crashed = True
+        self._sessions.clear()
+        return HypervisorCrashError(self.boot_receipt.serial, phase)
+
+    def _require_alive(self) -> None:
+        if self.crashed:
+            raise HypervisorCrashError(self.boot_receipt.serial, "dead-instance")
+
+    # ------------------------------------------------------------------
     # Step 2: attestation and session establishment
     # ------------------------------------------------------------------
 
@@ -162,6 +222,7 @@ class Hypervisor:
         self, user_nonce: bytes
     ) -> tuple[AttestationReport, PrivateKey, PrivateKey]:
         """Produce the signed report plus the fresh session/DH keys."""
+        self._require_alive()
         session_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
         dh_key = PrivateKey.from_bytes(self._rng.random_bytes(32))
         tracer_for(self.clock).record(
@@ -184,6 +245,7 @@ class Hypervisor:
         user_dh_public: PublicKey,
     ) -> bytes:
         """Finish DHKE and create the session's secure channel."""
+        self._require_alive()
         transcript = (
             report.user_nonce
             + report.session_public.to_bytes()
@@ -205,6 +267,8 @@ class Hypervisor:
             established_at_us=self.clock.now_us,
         )
         self.stats.sessions_established += 1
+        if self.recovery is not None:
+            self.recovery.on_session(self._sessions[session_id])
         return session_id
 
     # ------------------------------------------------------------------
@@ -223,6 +287,7 @@ class Hypervisor:
         Also returns the per-transaction time breakdowns and the raw run
         stats so benchmarks can decompose Figure 4 without re-running.
         """
+        self._require_alive()
         session = self._sessions.get(session_id)
         if session is None:
             raise UnknownSessionError(session_id)
@@ -232,6 +297,10 @@ class Hypervisor:
         # core activation on entry; trace packing and core scrub on exit.
         tracer.record("bundle.admission", "hypervisor", self.cost.bundle_admission_us)
         self.clock.advance_us(self.cost.bundle_admission_us)
+        if self.faults is not None:
+            # Crash point A: power loss right after the bundle was
+            # admitted but before any core was assigned.
+            self.faults.on_bundle_admission(self, self.clock.now_us)
 
         # Admit the message: decrypt/verify (or accept plaintext in -raw).
         if self.features.encryption:
@@ -296,6 +365,12 @@ class Hypervisor:
                 charge_fees=charge_fees,
                 query_padding=self.features.query_padding,
             )
+            if self.faults is not None:
+                # Crash point B: power loss after execution finished but
+                # before the trace was sealed — the client never sees a
+                # result, yet the ORAM already absorbed the accesses.
+                # Inside the ``try`` so the scrub below runs.
+                self.faults.on_bundle_sealing(self, self.clock.now_us)
         except Exception:
             self.scheduler.release(core)  # resets (scrubs) the core too
             raise
@@ -365,11 +440,15 @@ class Hypervisor:
     # ------------------------------------------------------------------
 
     def sync_block(self, state_root: bytes, updates) -> int:
+        self._require_alive()
         if self.synchronizer is None:
             return 0
         with tracer_for(self.clock).span("sync.block", "sync") as span:
             applied = self.synchronizer.apply_block(state_root, updates)
             span.set(updates=applied)
+        self.last_verified_root = state_root
+        if self.recovery is not None:
+            self.recovery.on_sync_root(state_root)
         return applied
 
     # ------------------------------------------------------------------

@@ -75,6 +75,20 @@ class ObliviousStateBackend:
         """The underlying ORAM client (read-only observability access)."""
         return self._client
 
+    def replace_client(self, client: PathOramClient) -> None:
+        """Repoint this backend at a recovered ORAM client.
+
+        Used by the recovery plane after a Hypervisor restart: the old
+        in-memory client died with the firmware; the successor (rebuilt
+        from checkpoint + journal) takes its place.  Learned code sizes
+        are kept — they are re-derivable public metadata, not trust.
+        """
+        if client.block_size != paging.PAGE_SIZE:
+            raise ValueError(
+                f"ORAM block size {client.block_size} != page size {paging.PAGE_SIZE}"
+            )
+        self._client = client
+
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------

@@ -25,10 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto.gcm import AuthenticationError
 from repro.crypto.kdf import Drbg
 from repro.crypto.suite import AeadCipher, Blake2Aead, open_blocks, seal_blocks
 from repro.oram.server import OramServer, OramServerStall
 from repro.perf.memo import MemoizedAead
+from repro.telemetry.tracer import tracer_for
 
 BlockKey = bytes
 
@@ -39,6 +41,12 @@ _KIND_REAL = 1
 # response budget configured the client never loops forever against a
 # permanently stalled server.
 _MAX_STALLS_PER_ACCESS = 16
+
+# Bound on the total AEAD probe decryptions one rollback classification
+# may spend: stale-tree attacks roll back to *recent* snapshots, so the
+# classifier walks versions downward only this far before giving up and
+# reporting plain corruption.
+_ROLLBACK_PROBE_LIMIT = 512
 
 
 @dataclass
@@ -53,6 +61,7 @@ class ClientStats:
     stalls_absorbed: int = 0
     stall_us_absorbed: float = 0.0
     timeouts: int = 0
+    rollbacks_detected: int = 0
 
 
 @dataclass(slots=True)
@@ -95,6 +104,28 @@ class OramTimeoutError(Exception):
         self.waited_us = waited_us
 
 
+class RollbackDetectedError(Exception):
+    """The SP served an authentic-but-stale bucket: a tree rollback.
+
+    Distinct from :class:`~repro.crypto.gcm.AuthenticationError` (plain
+    tag corruption, a transient fault worth retrying): the failed bucket
+    verified correctly under an *older* per-node version, which only a
+    server replaying a pre-checkpoint snapshot of the tree can produce.
+    Deliberately **not** a subclass of ``AuthenticationError`` so the
+    retry policies never absorb it — a rollback is an attack that must
+    surface to the re-sync recovery policy, not be retried away.
+    """
+
+    def __init__(self, node: int, expected_version: int, served_version: int) -> None:
+        super().__init__(
+            f"ORAM rollback: node {node} served version {served_version}, "
+            f"client pinned version {expected_version}"
+        )
+        self.node = node
+        self.expected_version = expected_version
+        self.served_version = served_version
+
+
 class PathOramClient:
     """A Path ORAM client over an :class:`OramServer`.
 
@@ -115,6 +146,8 @@ class PathOramClient:
         position_map: "PositionMapLike | None" = None,
         response_budget_us: float | None = None,
         decrypt_memo_blocks: int | None = 4096,
+        clock=None,
+        stall_retry_backoff_us: float = 0.0,
     ) -> None:
         self.server = server
         self.block_size = block_size
@@ -123,6 +156,19 @@ class PathOramClient:
         # absorbed (counted in stats), stalls past it raise
         # :class:`OramTimeoutError`.  ``None`` absorbs any finite stall.
         self.response_budget_us = response_budget_us
+        # When a SimClock is supplied, absorbed stalls (and the retry
+        # backoff between re-issued reads) charge it, so the wait the
+        # caller observes in virtual time equals ``waited_us`` exactly.
+        # ``None`` keeps the historical behaviour: stall time is counted
+        # in stats but charged to no clock.
+        self._clock = clock
+        self.stall_retry_backoff_us = stall_retry_backoff_us
+        # Recovery seam (``repro.recovery``): ``None`` in production.  A
+        # journal sink arms itself here to write-ahead nonce leases and
+        # capture per-access state deltas; the hooks draw no randomness,
+        # advance no clocks, and touch nothing simulated, so an armed
+        # zero-crash run is byte-identical to an unarmed one.
+        self.recovery = None
         self._rng = rng or Drbg(key, personalization=b"oram-client")
         self._cipher: AeadCipher = cipher_factory(key)
         # Decrypt memoization (repro.perf): path reads mostly decrypt
@@ -222,6 +268,19 @@ class PathOramClient:
         memo_misses_before = self.memo.stats.misses if self.memo else 0
         leaf_count = self.server.leaf_count
 
+        sink = self.recovery
+        keys_before: set[BlockKey] | None = None
+        if sink is not None:
+            # Write-ahead nonce lease: reserve (durably) every nonce this
+            # access could possibly consume *before* any ciphertext hits
+            # the wire, so a crash at any later point can never lead the
+            # recovered client to re-issue a used nonce.
+            sink.reserve_nonces(
+                self._nonce_counter,
+                (self.server.height + 1) * self.server.bucket_size,
+            )
+            keys_before = set(self._stash)
+
         old_leaf = self._positions.get(key)
         scanned_leaf = old_leaf if old_leaf is not None else self._rng.randint(leaf_count)
         new_leaf = self._rng.randint(leaf_count)
@@ -241,8 +300,18 @@ class PathOramClient:
                 items.append((blob[:12], blob[12:], aad))
         # One batch open for the whole path: every tag is verified
         # before any plaintext is used, so the all-or-nothing guarantee
-        # above holds exactly as in the slot-at-a-time path.
-        plains = open_blocks(self._cipher, items)
+        # above holds exactly as in the slot-at-a-time path.  A tag
+        # failure is classified before it propagates: a blob that
+        # authenticates under an *older* pinned version is a rollback
+        # (stale-tree attack), everything else is plain corruption.
+        try:
+            plains = open_blocks(self._cipher, items)
+        except AuthenticationError:
+            rollback = self._probe_rollback(buckets)
+            if rollback is not None:
+                self.stats.rollbacks_detected += 1
+                raise rollback from None
+            raise
         self.stats.blocks_decrypted += len(items)
         block_size = self.block_size
         stash = self._stash
@@ -265,6 +334,25 @@ class PathOramClient:
             self._positions.set(key, new_leaf)
 
         self._evict(scanned_leaf, sim_time_us)
+        if sink is not None:
+            # Journal the access as *absolute* assignments (last-writer-
+            # wins), so replaying any journal prefix twice recovers the
+            # same state as replaying it once.  Only entries this access
+            # touched can have changed: absorbed/placed stash keys (the
+            # symmetric difference) plus the accessed key itself, and the
+            # versions of the path just rewritten.
+            assert keys_before is not None
+            changed = set(self._stash) ^ keys_before
+            changed.add(key)
+            sink.record_access(
+                stash={k: self._stash.get(k) for k in changed},
+                positions={k: self._positions.get(k) for k in changed},
+                versions={
+                    node: self._node_versions[node]
+                    for node in self.server.path_nodes(scanned_leaf)
+                },
+                nonce_counter=self._nonce_counter,
+            )
         self._record_stash()
         self.last_access = AccessSummary(
             stalls_absorbed=self.stats.stalls_absorbed - stalls_before,
@@ -298,13 +386,62 @@ class PathOramClient:
                     and waited_us > self.response_budget_us
                 ):
                     self.stats.timeouts += 1
+                    self._charge_wait(stall.delay_us)
                     raise OramTimeoutError(
                         self.response_budget_us, waited_us
                     ) from stall
                 self.stats.stalls_absorbed += 1
                 self.stats.stall_us_absorbed += stall.delay_us
+                # The backoff before the re-issued read is real waiting
+                # the caller observes, so it counts toward both the
+                # budget and the reported ``waited_us``.
+                waited_us += self.stall_retry_backoff_us
+                self._charge_wait(stall.delay_us + self.stall_retry_backoff_us)
         self.stats.timeouts += 1
         raise OramTimeoutError(self.response_budget_us, waited_us)
+
+    def _charge_wait(self, amount_us: float) -> None:
+        """Advance the owning clock for time spent waiting on the server."""
+        if self._clock is None or amount_us <= 0.0:
+            return
+        tracer_for(self._clock).record("oram.stall", "oram_storage", amount_us)
+        self._clock.advance_us(amount_us)
+
+    def _probe_rollback(self, buckets: dict[int, list[bytes]]) -> (
+        "RollbackDetectedError | None"
+    ):
+        """Classify a path-read AEAD failure: rollback or corruption?
+
+        For every blob that fails under the pinned (current) version,
+        walk older versions downward; a blob that authenticates under
+        one is stale-but-genuine — only a server replaying an old tree
+        snapshot can serve it.  Probes are bounded; an exhausted probe
+        budget conservatively reports corruption.  Runs only on the
+        failure path, so honest runs never pay for it.
+        """
+        probes = 0
+        for node, node_blobs in buckets.items():
+            expected = self._node_versions.get(node, 0)
+            aad_now = self._bucket_aad(node, expected)
+            for blob in node_blobs:
+                nonce, data = blob[:12], blob[12:]
+                try:
+                    self._cipher.decrypt(nonce, data, aad_now)
+                    continue  # this blob is fine; the failure is elsewhere
+                except AuthenticationError:
+                    pass
+                for version in range(expected - 1, -1, -1):
+                    probes += 1
+                    if probes > _ROLLBACK_PROBE_LIMIT:
+                        return None
+                    try:
+                        self._cipher.decrypt(
+                            nonce, data, self._bucket_aad(node, version)
+                        )
+                    except AuthenticationError:
+                        continue
+                    return RollbackDetectedError(node, expected, version)
+        return None
 
     def _evict(self, leaf: int, sim_time_us: float) -> None:
         """Greedy write-back: place stash blocks as deep as possible."""
@@ -372,6 +509,50 @@ class PathOramClient:
             raise StashOverflow(
                 f"stash holds {size} blocks, limit is {self.stash_limit}"
             )
+
+    # ------------------------------------------------------------------
+    # Trusted-state capture (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def snapshot_trusted_state(self) -> dict:
+        """Copy out everything a checkpoint must carry to rebuild this
+        client: stash contents, position map, per-node version pins, and
+        the AEAD nonce counter.  Keys (not AES material) only — the
+        sealing layer encrypts the whole snapshot."""
+        if isinstance(self._positions, DictPositionMap):
+            positions = dict(self._positions._map)
+        else:  # recursive maps expose at least the stash-resident keys
+            positions = {
+                key: leaf
+                for key in self._stash
+                if (leaf := self._positions.get(key)) is not None
+            }
+        return {
+            "stash": dict(self._stash),
+            "positions": positions,
+            "node_versions": dict(self._node_versions),
+            "nonce_counter": self._nonce_counter,
+        }
+
+    def restore_trusted_state(self, state: dict) -> None:
+        """Install a recovered snapshot (checkpoint + journal replay)."""
+        self._stash = dict(state["stash"])
+        restored = DictPositionMap()
+        restored._map = dict(state["positions"])
+        self._positions = restored
+        self._node_versions = dict(state["node_versions"])
+        self._nonce_counter = int(state["nonce_counter"])
+
+    def forget_tree_state(self) -> None:
+        """Drop stash/positions/version pins but KEEP the nonce counter.
+
+        This is the re-sync recovery policy after a detected rollback:
+        the tree is rebuilt from verified chain state, yet nonces must
+        stay monotone across the old sealed blobs the SP has seen.
+        """
+        self._stash = {}
+        self._positions = DictPositionMap()
+        self._node_versions = {}
 
     # ------------------------------------------------------------------
     # Convenience

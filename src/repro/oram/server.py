@@ -154,3 +154,22 @@ class OramServer:
     def capacity_blocks(self) -> int:
         """Total real-block capacity of the tree."""
         return (2 * self.leaf_count - 1) * self.bucket_size
+
+    # ------------------------------------------------------------------
+    # Adversary/recovery tree manipulation
+    # ------------------------------------------------------------------
+
+    def snapshot_tree(self) -> list[list[bytes]]:
+        """Copy out every bucket — what a malicious SP squirrels away."""
+        return [list(bucket) for bucket in self._buckets]
+
+    def restore_tree(self, snapshot: list[list[bytes]]) -> None:
+        """Overwrite the tree with an earlier snapshot (rollback attack)."""
+        if len(snapshot) != len(self._buckets):
+            raise ValueError("snapshot geometry mismatch")
+        self._buckets = [list(bucket) for bucket in snapshot]
+
+    def reset_tree(self) -> None:
+        """Drop every stored bucket (the client's re-sync policy rebuilds
+        the tree from verified chain state)."""
+        self._buckets = [[] for _ in self._buckets]

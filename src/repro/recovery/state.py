@@ -1,0 +1,118 @@
+"""The checkpointed trusted state and its deterministic encoding.
+
+A :class:`TrustedState` is everything the Hypervisor must carry across a
+cold restart to come back *the same deployment*: the ORAM client's stash
+and position map, the per-node anti-rollback version pins, the AEAD
+nonce counter (plus the write-ahead lease watermark), the shared ORAM
+key, session *metadata*, and the last Merkle root block sync verified.
+
+Session metadata deliberately excludes channel AES keys: the channels
+are forward-secret (fresh DHKE per session), so a checkpoint that could
+resurrect them would be the vulnerability, not the feature.  Recovery
+re-runs attestation + DHKE instead; the metadata records who must be
+re-joined.
+
+Encoding is deterministic JSON (sorted keys, fixed separators, bytes as
+hex) so identical states seal to identical plaintexts — the property the
+journal-replay idempotence tests assert on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+def _hex_map(mapping: dict[bytes, bytes]) -> dict[str, str]:
+    return {k.hex(): v.hex() for k, v in mapping.items()}
+
+
+@dataclass
+class SessionRecord:
+    """Who held a session (re-join target), never the channel key."""
+
+    session_id: bytes
+    user_public: bytes       # serialized user session public key
+    device_index: int
+    established_at_us: float
+
+    def to_obj(self) -> dict:
+        return {
+            "session_id": self.session_id.hex(),
+            "user_public": self.user_public.hex(),
+            "device_index": self.device_index,
+            "established_at_us": self.established_at_us,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "SessionRecord":
+        return cls(
+            session_id=bytes.fromhex(obj["session_id"]),
+            user_public=bytes.fromhex(obj["user_public"]),
+            device_index=int(obj["device_index"]),
+            established_at_us=float(obj["established_at_us"]),
+        )
+
+
+@dataclass
+class TrustedState:
+    """The recoverable trusted state of one deployment."""
+
+    stash: dict[bytes, bytes] = field(default_factory=dict)
+    positions: dict[bytes, int] = field(default_factory=dict)
+    node_versions: dict[int, int] = field(default_factory=dict)
+    nonce_counter: int = 0
+    leased_until: int = 0             # write-ahead nonce lease watermark
+    oram_key: bytes = b""
+    block_size: int = 1024
+    sessions: dict[str, SessionRecord] = field(default_factory=dict)
+    sync_root: bytes | None = None
+
+    def encode(self) -> bytes:
+        obj = {
+            "stash": _hex_map(self.stash),
+            "positions": {k.hex(): v for k, v in self.positions.items()},
+            "node_versions": {str(k): v for k, v in self.node_versions.items()},
+            "nonce_counter": self.nonce_counter,
+            "leased_until": self.leased_until,
+            "oram_key": self.oram_key.hex(),
+            "block_size": self.block_size,
+            "sessions": {
+                sid: record.to_obj() for sid, record in self.sessions.items()
+            },
+            "sync_root": self.sync_root.hex() if self.sync_root else None,
+        }
+        return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TrustedState":
+        obj = json.loads(data.decode())
+        return cls(
+            stash={
+                bytes.fromhex(k): bytes.fromhex(v)
+                for k, v in obj["stash"].items()
+            },
+            positions={
+                bytes.fromhex(k): int(v) for k, v in obj["positions"].items()
+            },
+            node_versions={
+                int(k): int(v) for k, v in obj["node_versions"].items()
+            },
+            nonce_counter=int(obj["nonce_counter"]),
+            leased_until=int(obj["leased_until"]),
+            oram_key=bytes.fromhex(obj["oram_key"]),
+            block_size=int(obj["block_size"]),
+            sessions={
+                sid: SessionRecord.from_obj(rec)
+                for sid, rec in obj["sessions"].items()
+            },
+            sync_root=(
+                bytes.fromhex(obj["sync_root"]) if obj["sync_root"] else None
+            ),
+        )
+
+    def copy(self) -> "TrustedState":
+        return TrustedState.decode(self.encode())
+
+
+__all__ = ["SessionRecord", "TrustedState"]

@@ -1,0 +1,245 @@
+"""Restart orchestration: from typed crash to re-joined deployment.
+
+:class:`HypervisorSupervisor` plugs into
+:class:`~repro.faults.policy.ResilientServiceExecutor` (its
+``supervisor`` seam) and turns the two non-retryable recovery-plane
+errors into retryable situations by *repairing the world first*:
+
+* :class:`~repro.hypervisor.hypervisor.HypervisorCrashError` →
+  :meth:`restart`: charge the cold-boot cost, recover trusted state from
+  the durable store (checkpoint + journal replay), rebuild the ORAM
+  client, cold-restart the firmware at the next generation, re-arm the
+  fault plane, and invoke every tenant's re-join callback so attestation
+  + DHKE re-establish live sessions — each phase a telemetry span on the
+  ``recovery`` layer.
+* :class:`~repro.oram.client.RollbackDetectedError` → :meth:`resync`:
+  the SP served a stale tree; discard it and rebuild from verified chain
+  state (the paper's block-sync path), keeping the nonce counter
+  monotone.
+
+In-flight work is *re-admitted* when its payload can re-resolve a live
+session (:class:`ReattachableBundle`), and terminates as a typed FAILED
+otherwise — either way under the gateway's existing deadline/slot
+accounting, never silently.
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.hypervisor import HypervisorCrashError, UnknownSessionError
+from repro.oram.client import RollbackDetectedError
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.store import DurableStore
+from repro.telemetry.tracer import tracer_for
+
+
+class SessionDirectory:
+    """device index → the tenant's *current* session on that device.
+
+    Re-join replaces entries in place, so payloads resolving through the
+    directory always seal for a session the (possibly restarted)
+    Hypervisor actually knows.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[int, object] = {}
+
+    def set(self, device_index: int, session) -> None:
+        self._sessions[device_index] = session
+
+    def get(self, device_index: int):
+        return self._sessions[device_index]
+
+    @property
+    def device_indices(self) -> tuple[int, ...]:
+        return tuple(sorted(self._sessions))
+
+
+class ReattachableBundle:
+    """A failover payload that re-resolves its session at seal time.
+
+    The plain :class:`~repro.faults.policy.FailoverBundle` binds session
+    objects at construction; after a Hypervisor restart those are dead
+    and every re-seal lands as ``UnknownSessionError``.  Resolving
+    through a :class:`SessionDirectory` instead means a retried attempt
+    automatically picks up the re-joined session — the "re-admit
+    in-flight gateway work" half of the recovery contract.
+    """
+
+    def __init__(self, directory: SessionDirectory, encoded_bundle: bytes) -> None:
+        self._directory = directory
+        self._encoded = encoded_bundle
+
+    @property
+    def device_indices(self) -> tuple[int, ...]:
+        return self._directory.device_indices
+
+    def session_for(self, device_index: int) -> bytes:
+        return self._directory.get(device_index).session_id
+
+    def seal_for(self, device_index: int):
+        session = self._directory.get(device_index)
+        if session.device.hypervisor.features.encryption:
+            return session.channel.seal(self._encoded)
+        return self._encoded
+
+    def open_with(self, device_index: int, sealed_out):
+        session = self._directory.get(device_index)
+        if session.device.hypervisor.features.encryption:
+            return session.channel.open(sealed_out)
+        return sealed_out
+
+
+class HypervisorSupervisor:
+    """Repairs the deployment when the executor hits a dead Hypervisor."""
+
+    def __init__(
+        self,
+        service,
+        manager: RecoveryManager | None,
+        store: DurableStore,
+        injector=None,
+        metrics=None,
+    ) -> None:
+        self.service = service
+        self.manager = manager
+        self.store = store
+        self._injector = injector
+        self._metrics = metrics
+        # Tenant-side re-join hooks: callables ``(device_index, device)``
+        # that re-run attestation + DHKE and update the tenant's
+        # SessionDirectory.  Registered per tenant at setup.
+        self.rejoin_callbacks: list = []
+        self.restarts = 0
+        self.resyncs = 0
+
+    # ------------------------------------------------------------------
+    # Executor seam
+    # ------------------------------------------------------------------
+
+    def intervene(self, error: Exception, device_index: int) -> bool:
+        """Repair after ``error``; True iff a retry is now worthwhile."""
+        if isinstance(error, HypervisorCrashError):
+            self.restart(device_index)
+            return True
+        if isinstance(error, RollbackDetectedError):
+            self.resync(device_index)
+            return True
+        if isinstance(error, UnknownSessionError):
+            # Stale session id after a restart this supervisor performed:
+            # the retry re-seals, and payloads resolving through a
+            # SessionDirectory pick up the re-joined session.  Without a
+            # prior restart it is a routing bug — propagate.
+            return self.restarts > 0
+        return False
+
+    # ------------------------------------------------------------------
+    # Cold restart
+    # ------------------------------------------------------------------
+
+    def restart(self, device_index: int) -> None:
+        """The paper-faithful restart protocol, on virtual time.
+
+        boot (secure boot + HEVM reset) → restore (unseal checkpoint,
+        replay journal, rebuild the ORAM client) → rejoin (re-attest
+        every tenant).  Each phase is charged through the cost model and
+        recorded as a ``recovery``-layer span.
+        """
+        service = self.service
+        device = service.devices[device_index]
+        clock = service.clock
+        cost = service.cost
+        tracer = tracer_for(clock)
+
+        tracer.record(
+            "recovery.boot", "recovery", cost.hypervisor_reboot_us,
+            device=device_index, generation=device.restarts + 1,
+        )
+        clock.advance_us(cost.hypervisor_reboot_us)
+
+        # The durable store is sealed under (and NVRAM-pinned by) the
+        # deployment's *anchor* device — the one the manager was built
+        # on — so recovery always verifies against that anchor, whatever
+        # device's hypervisor actually died.
+        anchor = (
+            self.manager.device if self.manager is not None
+            else service.devices[0]
+        )
+        manager, state, replayed = RecoveryManager.recover(
+            anchor,
+            self.store,
+            checkpoint_interval=(
+                self.manager.checkpoint_interval if self.manager else 8
+            ),
+        )
+        restore_us = (
+            cost.checkpoint_restore_us
+            + replayed * cost.journal_replay_record_us
+        )
+        tracer.record(
+            "recovery.restore", "recovery", restore_us,
+            epoch=manager.epoch, replayed_records=replayed,
+        )
+        clock.advance_us(restore_us)
+
+        if self.manager is not None:
+            # Carry the deployment-cumulative observability counters
+            # across generations.
+            manager.checkpoints_written += self.manager.checkpoints_written
+            manager.records_written += self.manager.records_written
+        client = manager.rebuild_client(
+            state, service.oram_server, generation=device.restarts + 1
+        )
+        device.restart_hypervisor(client, oram_key=state.oram_key)
+        service.install_oram_client(client)
+        manager.reattach(service, client)
+        self.manager = manager
+        if self._injector is not None:
+            # Fresh hypervisor/cores need re-arming; the shared client's
+            # server re-wraps (arm_device skips double-wrapping).
+            self._injector.arm_device(device)
+        service.stats.hypervisor_restarts += 1
+        self.restarts += 1
+        if self._metrics is not None:
+            self._metrics.counter("recovery.restarts").inc()
+
+        with tracer.span(
+            "recovery.rejoin", "recovery", device=device_index
+        ) as span:
+            for callback in self.rejoin_callbacks:
+                callback(device_index, device)
+            span.set(sessions=len(self.rejoin_callbacks))
+
+    # ------------------------------------------------------------------
+    # Rollback re-sync
+    # ------------------------------------------------------------------
+
+    def resync(self, device_index: int = 0) -> None:
+        """Recovery policy for a detected SP tree rollback.
+
+        The stale tree is worthless: discard it wholesale, keep the
+        nonce counter (monotonicity must span the blobs the SP has
+        already seen), and rebuild from the verified synced state —
+        which the last pinned sync root attests.  Ends with a fresh
+        checkpoint so the stale journal epoch can never resurface.
+        """
+        service = self.service
+        client = service.shared_oram_client
+        device = service.devices[device_index]
+        assert client is not None and device.oram_backend is not None
+        with tracer_for(service.clock).span(
+            "recovery.resync", "recovery", device=device_index
+        ) as span:
+            client.server.reset_tree()
+            client.forget_tree_state()
+            pages = device.oram_backend.sync_world(
+                service._synced_state.accounts
+            )
+            span.set(pages=pages)
+        if self.manager is not None:
+            self.manager.checkpoint()
+        self.resyncs += 1
+        if self._metrics is not None:
+            self._metrics.counter("recovery.resyncs").inc()
+
+
+__all__ = ["HypervisorSupervisor", "ReattachableBundle", "SessionDirectory"]

@@ -64,6 +64,9 @@ class ExecutionFailure:
     error_type: str
     cause_type: str
     message: str
+    # How many device attempts the executor burned before giving up
+    # (1 for plain executors that never retry).
+    attempts: int = 1
 
 
 @dataclass
@@ -467,6 +470,7 @@ class Gateway:
                     error_type=type(exc).__name__,
                     cause_type=type(cause).__name__,
                     message=str(exc),
+                    attempts=int(getattr(exc, "attempts", 1)),
                 )
                 result = None
             request.service_us = service_us

@@ -62,6 +62,26 @@ def test_disasm_unknown_input(capsys):
     assert main(["disasm", "not-a-contract"]) == 1
 
 
+def test_recovery_bench_rejects_bad_seed(capsys):
+    assert main(["recovery-bench", "--seed", "-1"]) == 2
+    assert main(["recovery-bench", "--seed", str(2**64)]) == 2
+    assert "seed" in capsys.readouterr().err
+
+
+@pytest.mark.recovery
+def test_recovery_bench_smoke(capsys, tmp_path):
+    out_path = tmp_path / "BENCH_recovery.json"
+    assert main(["recovery-bench", "--smoke", "--json-out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "all gates passed" in out
+    import json
+
+    parsed = json.loads(out_path.read_text())
+    assert parsed["passed"] is True
+    assert parsed["crash"]["crashes_fired"] >= 3
+    assert parsed["identity"]["digest"] is True
+
+
 def test_serve_bench_sweep_and_overload(capsys):
     assert main([
         "serve-bench", "--hevms", "2,4", "--requests", "5",

@@ -48,20 +48,49 @@ def test_breaker_opens_after_threshold_then_half_opens():
     assert excinfo.value.target == "device0"
     # Cool-down elapsed: the trial call goes through (half-open)...
     breaker.allow(1_000.0)
-    # ...failing it re-opens for a fresh window...
+    # ...failing the trial re-opens with a DOUBLED window (2 000 µs)...
     breaker.record_failure(1_000.0)
+    assert breaker.current_reset_us == 2_000.0
     with pytest.raises(CircuitOpenError):
         breaker.allow(1_500.0)
-    # ...and a success closes it fully.
-    breaker.allow(2_000.0)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow(2_999.0)  # still inside the doubled window
+    # ...the next trial at the doubled boundary goes through, and a
+    # success closes it fully, resetting the window to its base.
+    breaker.allow(3_000.0)
     breaker.record_success()
     assert not breaker.is_open
+    assert breaker.current_reset_us == 1_000.0
     breaker.allow(0.0)
+
+
+def test_breaker_trial_failures_double_until_capped():
+    breaker = CircuitBreaker(
+        "device0",
+        failure_threshold=1,
+        reset_after_us=1_000.0,
+        max_reset_us=4_000.0,
+    )
+    breaker.record_failure(0.0)  # opens with the base 1 000 µs window
+    now = 1_000.0
+    for expected in (2_000.0, 4_000.0, 4_000.0, 4_000.0):
+        breaker.allow(now)           # half-open trial at the boundary
+        breaker.record_failure(now)  # trial fails → doubled, capped
+        assert breaker.current_reset_us == expected
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(now + expected - 1.0)
+        now += expected
+    # Recovery at last: base window restored for any future opens.
+    breaker.allow(now)
+    breaker.record_success()
+    assert breaker.current_reset_us == 1_000.0
 
 
 def test_breaker_validation():
     with pytest.raises(ValueError):
         CircuitBreaker("x", failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", reset_after_us=1_000.0, max_reset_us=500.0)
 
 
 def test_recovery_outcome_recovered_property():

@@ -12,7 +12,7 @@ import pytest
 from repro.crypto.gcm import AuthenticationError
 from repro.crypto.kdf import Drbg
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultRule, FaultyOramServer
-from repro.oram.client import OramTimeoutError, PathOramClient
+from repro.oram.client import OramTimeoutError, PathOramClient, RollbackDetectedError
 from repro.oram.server import OramServer
 
 
@@ -39,7 +39,8 @@ def test_tampered_bucket_detected(oram):
 
 
 def test_rollback_of_bucket_detected(oram):
-    """Replaying an older, individually valid bucket must fail AEAD."""
+    """Replaying an older, individually valid bucket is classified as a
+    rollback — a typed error distinct from plain tag corruption."""
     server, client = oram
     client.write(b"key", b"v1")
     # SP snapshots the entire tree now...
@@ -49,9 +50,13 @@ def test_rollback_of_bucket_detected(oram):
     client.write(b"other", b"x")
     # ...and the SP rolls the tree back to the stale snapshot.
     server._buckets = [list(bucket) for bucket in snapshot]
-    with pytest.raises(AuthenticationError):
+    with pytest.raises(RollbackDetectedError) as excinfo:
         for _ in range(64):
             client.read(b"key")
+    assert excinfo.value.served_version < excinfo.value.expected_version
+    assert client.stats.rollbacks_detected == 1
+    # The typed error must never be mistaken for (retryable) corruption.
+    assert not isinstance(excinfo.value, AuthenticationError)
 
 
 def test_swapping_buckets_between_nodes_detected(oram):
@@ -158,6 +163,55 @@ def test_injected_tag_corruption_aborts_access_atomically():
     # The corruption hit the returned copy only (a transient bus error,
     # not stored damage), so the retry reads the true value.
     assert client.read(b"key0").rstrip(b"\x00") == b"v0"
+
+
+def test_retry_backoff_counts_toward_budget_and_waited_us():
+    """The wait between re-issued reads is real caller-observed time: it
+    must appear in ``waited_us``, count against the response budget, and
+    charge the owning clock — not vanish into unaccounted limbo."""
+    from repro.hardware.timing import SimClock
+
+    server = OramServer(height=5)
+    clock = SimClock()
+    client = PathOramClient(
+        server, key=b"k" * 32, block_size=64, rng=Drbg(b"r"),
+        response_budget_us=10_000.0,
+        clock=clock, stall_retry_backoff_us=500.0,
+    )
+    client.write(b"key", b"value")
+    started = clock.now_us
+    client.server = _armed(
+        server,
+        FaultRule(FaultKind.ORAM_STALL, rate=1.0, max_fires=2, stall_us=8_000.0),
+    )
+    with pytest.raises(OramTimeoutError) as excinfo:
+        client.read(b"key")
+    # First stall (8 ms) absorbed + 0.5 ms backoff, second stall breaches:
+    # waited = 8_000 + 500 + 8_000, all of it charged to the clock.
+    assert excinfo.value.waited_us == 16_500.0
+    assert clock.now_us - started == 16_500.0
+    assert client.stats.stalls_absorbed == 1
+    assert client.stats.timeouts == 1
+
+
+def test_absorbed_stalls_charge_the_clock():
+    from repro.hardware.timing import SimClock
+
+    server = OramServer(height=5)
+    clock = SimClock()
+    client = PathOramClient(
+        server, key=b"k" * 32, block_size=64, rng=Drbg(b"r"),
+        response_budget_us=50_000.0,
+        clock=clock, stall_retry_backoff_us=250.0,
+    )
+    client.write(b"key", b"value")
+    started = clock.now_us
+    client.server = _armed(
+        server,
+        FaultRule(FaultKind.ORAM_STALL, rate=1.0, max_fires=1, stall_us=8_000.0),
+    )
+    assert client.read(b"key").rstrip(b"\x00") == b"value"
+    assert clock.now_us - started == 8_250.0  # stall + backoff, nothing else
 
 
 def test_faulty_wrapper_is_transparent_at_zero_rate(oram):
