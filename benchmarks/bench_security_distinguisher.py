@@ -138,3 +138,64 @@ def test_frequency_attack_and_uniformity(benchmark, traces):
     assert pvalue > 0.01       # physical paths are uniform
     assert leak_plain == pytest.approx(1.0)
     assert leak_noisy < 0.8    # noise destroys most of the signal
+
+
+@pytest.mark.sharding
+def test_per_shard_distinguisher_fails_on_every_shard():
+    """Experiment SEC, sharded: partitioning must not weaken obliviousness.
+
+    Each shard serves a smaller key population, so a skew-reading
+    adversary has a smaller anonymity set to attack — the same skewed
+    workload is therefore attacked *per shard*, and the distinguisher
+    must fail on every one.
+    """
+    import hashlib
+    from collections import Counter
+
+    from repro.sharding import (
+        ShardedOramConfig,
+        ShardedOramFleet,
+        ShardRoutingClient,
+    )
+
+    rng = Drbg(b"sec-shard-bench")
+    keys = [b"contract-%02d" % i for i in range(32)]
+    # Zipf-ish skew over 32 keys: plenty of per-shard frequency signal.
+    workload = []
+    for index, key in enumerate(keys):
+        workload += [key] * max(1, 192 >> (index // 4))
+    for i in range(len(workload) - 1, 0, -1):
+        j = rng.randint(i + 1)
+        workload[i], workload[j] = workload[j], workload[i]
+
+    shard_count = 4
+    config = ShardedOramConfig(
+        shard_count=shard_count, oram_height=8, block_size=64
+    )
+    fleet = ShardedOramFleet(
+        config, hashlib.sha256(b"sec-shard-master").digest()
+    )
+    observers = {
+        sid: AccessPatternObserver().attach(shard.server)
+        for sid, shard in sorted(fleet.shards.items())
+    }
+    client = ShardRoutingClient(fleet)
+    for key in keys:
+        client.write(key, b"value")
+    for observer in observers.values():
+        observer.clear()
+    for key in workload:
+        client.read(key)
+
+    frequency = Counter(workload)
+    leaf_count = 2 ** config.oram_height
+    for sid, observer in observers.items():
+        owned = sorted(
+            (key for key in keys if fleet.ring.shard_for(key) == sid),
+            key=lambda k: (-frequency[k], k),
+        )
+        leaves = observer.leaves
+        assert len(leaves) >= 40  # enough per-shard samples to test
+        handles = [leaf.to_bytes(4, "big") for leaf in leaves]
+        assert frequency_attack(handles, owned) == 0.0
+        assert path_uniformity_pvalue(leaves, leaf_count, bins=8) > 0.01

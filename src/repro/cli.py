@@ -12,6 +12,7 @@
     python -m repro.cli trace-bench         # traced run + critical-path table
     python -m repro.cli perf-bench          # crypto/ORAM before/after speedup
     python -m repro.cli recovery-bench      # crash recovery + rollback gates
+    python -m repro.cli shard-bench         # sharded-fleet scale-out gates
 
 ``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
 sweep rows across processes (deterministic: results are reduced in
@@ -427,6 +428,31 @@ def cmd_recovery_bench(args) -> int:
     return 0
 
 
+def cmd_shard_bench(args) -> int:
+    from repro.sharding.bench import ShardBenchConfig, run_shard_bench
+
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if args.smoke:
+        config = ShardBenchConfig.smoke(seed=args.seed)
+    else:
+        config = ShardBenchConfig(seed=args.seed)
+    report = run_shard_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.passed:
+        print("SHARD-BENCH FAILED: "
+              + "; ".join(report.gate_failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -554,6 +580,18 @@ def build_parser() -> argparse.ArgumentParser:
     recovery_bench.add_argument("--json-out", default="",
                                 help="write the BENCH_recovery.json report here")
     recovery_bench.set_defaults(func=cmd_recovery_bench)
+
+    shard_bench = sub.add_parser(
+        "shard-bench",
+        help="sharded ORAM fleet: identity, scale-out, per-shard "
+             "distinguisher (repro.sharding)",
+    )
+    shard_bench.add_argument("--seed", type=int, default=1)
+    shard_bench.add_argument("--smoke", action="store_true",
+                             help="CI-sized run (same gates, faster)")
+    shard_bench.add_argument("--json-out", default="",
+                             help="write the BENCH_shard.json report here")
+    shard_bench.set_defaults(func=cmd_shard_bench)
     return parser
 
 

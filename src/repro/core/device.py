@@ -20,6 +20,7 @@ from repro.hardware.timing import CostModel, SimClock
 from repro.hypervisor.hypervisor import Hypervisor, SecurityFeatures
 from repro.oram.adapter import ObliviousStateBackend
 from repro.oram.client import PathOramClient
+from repro.oram.hierarchical import PyramidOramClient
 from repro.oram.server import OramServer
 from repro.state.backend import StateBackend
 
@@ -40,6 +41,13 @@ class DeviceConfig:
     oram_height: int = 12
     oram_bucket_size: int = 4
     stash_limit_blocks: int = 1024  # ~1 MB of on-chip stash
+    # Which ORAM protocol backs the world state: "path" (the paper's
+    # prototype) or "pyramid" (hierarchical layout; wins at small
+    # working sets — see repro.oram.hierarchical.backend_for_working_set).
+    oram_backend: str = "path"
+    # On-chip top-cache bound for the pyramid backend (blocks); the
+    # hierarchical analogue of stash_limit_blocks.
+    pyramid_cache_blocks: int = 32
     # Virtual-time budget for one ORAM path read; a server stalling past
     # it surfaces as a typed OramTimeoutError instead of a hang.  None
     # absorbs any finite stall (the pre-fault-plane behaviour).
@@ -123,6 +131,18 @@ class HarDTAPEDevice:
                 # others' AAD checks still expect old, and remapped
                 # blocks vanish from stale position maps.
                 client = oram_client
+            elif self.config.oram_backend == "pyramid":
+                if self.config.recursive_position_map:
+                    raise ValueError(
+                        "recursive position maps apply to the path backend only"
+                    )
+                client = PyramidOramClient(
+                    oram_server,
+                    key=oram_key,
+                    block_size=1024,
+                    cache_limit=self.config.pyramid_cache_blocks,
+                    rng=rng.fork(b"oram"),
+                )
             else:
                 position_map = None
                 if self.config.recursive_position_map:

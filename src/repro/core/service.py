@@ -17,6 +17,7 @@ from repro.hardware.timing import CostModel, SimClock, TimeBreakdown
 from repro.hypervisor.hypervisor import SecurityFeatures, UnknownSessionError
 from repro.hypervisor.sync import SyncError
 from repro.node.node import EthereumNode
+from repro.oram.hierarchical import HierarchicalOramServer, build_oram_server
 from repro.oram.server import OramServer
 from repro.telemetry.tracer import tracer_for
 from repro.core.device import DeviceConfig, HarDTAPEDevice
@@ -69,8 +70,9 @@ class HarDTAPEService:
         device_config = device_config or DeviceConfig()
 
         need_oram = features.oram_storage or features.oram_code
-        self.oram_server: OramServer | None = (
-            OramServer(
+        self.oram_server: OramServer | HierarchicalOramServer | None = (
+            build_oram_server(
+                device_config.oram_backend,
                 height=device_config.oram_height,
                 bucket_size=device_config.oram_bucket_size,
                 query_cpu_us=self.cost.oram_server_cpu_us,

@@ -8,6 +8,12 @@ from repro.oram.client import (
     StashOverflow,
 )
 from repro.oram.encrypted_store import EncryptedKvStore
+from repro.oram.hierarchical import (
+    HierarchicalOramServer,
+    PyramidOramClient,
+    SlotAccessEvent,
+    backend_for_working_set,
+)
 from repro.oram.pancake import (
     FrequencySmoothedStore,
     rate_deviation_attack,
@@ -33,6 +39,7 @@ __all__ = [
     "DictPositionMap",
     "EncryptedKvStore",
     "FrequencySmoothedStore",
+    "HierarchicalOramServer",
     "ObliviousStateBackend",
     "OramServer",
     "PAGE_SIZE",
@@ -40,11 +47,14 @@ __all__ = [
     "PathAccessEvent",
     "PathOramClient",
     "PrefetchPlanEntry",
+    "PyramidOramClient",
     "QueryRecord",
     "QueryStats",
     "RecursivePositionMap",
     "ServerStats",
+    "SlotAccessEvent",
     "StashOverflow",
+    "backend_for_working_set",
     "rate_deviation_attack",
     "account_page_key",
     "code_page_key",

@@ -151,6 +151,16 @@ class RecoveryManager:
                 self.note_session(session, index, journal_it=False)
         self.checkpoint()
 
+    def attach_client(self, client: PathOramClient) -> None:
+        """Arm just the ORAM-client seam, without a service.
+
+        Sharded fleets run one manager per shard client; sessions and
+        sync roots are fleet-level concerns handled elsewhere, so only
+        the per-access journal hooks are wired here.
+        """
+        self._client = client
+        client.recovery = self
+
     def reattach(self, service, client: PathOramClient) -> None:
         """Re-arm the seams after a restart (same epoch, same journal)."""
         self._service = service

@@ -35,6 +35,7 @@ from repro.serving.loadgen import (
     synthetic_profiles,
 )
 from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.router import SESSION_RING_SEED, ShardSessionRouter
 
 __all__ = [
     "AdmissionPolicy",
@@ -55,7 +56,9 @@ __all__ = [
     "QueueDepthShedPolicy",
     "RejectReason",
     "RequestStatus",
+    "SESSION_RING_SEED",
     "ServiceExecutor",
+    "ShardSessionRouter",
     "TokenBucketPolicy",
     "arrival_times",
     "model_sessions",

@@ -1,0 +1,139 @@
+"""Shard-aware session routing: spread tenants across the gateway fleet.
+
+One :class:`~repro.serving.gateway.Gateway` fronts each shard's
+serving stack; the router pins every session to a shard with the same
+consistent-hash construction the state plane uses (its own hash
+domain, so tenant placement and page placement stay independent).
+Stickiness matters twice over: a tenant's session keys live on one
+device fleet, and its working set warms one shard's ORAM stash — so
+the router never migrates a session except on explicit topology change
+(a new ring), exactly like page keys.
+
+The router is deliberately thin: it owns no queue of its own — each
+gateway keeps its bounded queue, admission policy, and virtual clock —
+so per-shard behaviour under load is *identical* to a single-gateway
+deployment, and fleet-level views (queue depths, completions) are just
+deterministic merges in shard order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.serving.gateway import Gateway, GatewayRequest
+from repro.serving.metrics import MetricsRegistry
+from repro.sharding.ring import ConsistentHashRing
+
+SESSION_RING_SEED = b"hardtape-session-ring"
+
+
+class ShardSessionRouter:
+    """Maps session ids to shards and fans gateway ops across the fleet."""
+
+    def __init__(
+        self,
+        gateways: dict[int, Gateway],
+        *,
+        vnodes: int = 64,
+        ring_seed: bytes = SESSION_RING_SEED,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not gateways:
+            raise ValueError("a router needs at least one gateway")
+        self._gateways = dict(sorted(gateways.items()))
+        self.ring = ConsistentHashRing(
+            self._gateways.keys(), vnodes=vnodes, seed=ring_seed
+        )
+        self.metrics = metrics
+        self._sessions_by_shard: dict[int, set[bytes]] = {
+            sid: set() for sid in self._gateways
+        }
+
+    # -- placement -----------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(self._gateways)
+
+    def shard_for_session(self, session_id: bytes) -> int:
+        return self.ring.shard_for(session_id)
+
+    def gateway_for(self, session_id: bytes) -> Gateway:
+        return self._gateways[self.shard_for_session(session_id)]
+
+    def gateway_of_shard(self, shard_id: int) -> Gateway:
+        return self._gateways[shard_id]
+
+    def partition_sessions(self, sessions: Iterable) -> dict[int, list]:
+        """Split ``LoadSession``s by owning shard (loadgen per-shard runs)."""
+        by_shard: dict[int, list] = {sid: [] for sid in self._gateways}
+        for session in sessions:
+            by_shard[self.shard_for_session(session.session_id)].append(session)
+        return by_shard
+
+    # -- the gateway surface, fleet-wide -------------------------------
+
+    def submit(
+        self,
+        session_id: bytes,
+        payload: Any,
+        at_us: float = 0.0,
+        priority: int = 0,
+        deadline_us: float | None = None,
+        device_index: int | None = None,
+    ) -> GatewayRequest:
+        shard_id = self.shard_for_session(session_id)
+        self._sessions_by_shard[shard_id].add(session_id)
+        request = self._gateways[shard_id].submit(
+            session_id,
+            payload,
+            at_us=at_us,
+            priority=priority,
+            deadline_us=deadline_us,
+            device_index=device_index,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("router.submitted", shard=shard_id).inc()
+        return request
+
+    def advance_until(self, deadline_us: float) -> list[GatewayRequest]:
+        """Advance every shard's gateway; merge terminals in shard order."""
+        terminal: list[GatewayRequest] = []
+        for shard_id in sorted(self._gateways):
+            terminal.extend(self._gateways[shard_id].advance_until(deadline_us))
+        return terminal
+
+    def drain(self) -> list[GatewayRequest]:
+        terminal: list[GatewayRequest] = []
+        for shard_id in sorted(self._gateways):
+            terminal.extend(self._gateways[shard_id].drain())
+        return terminal
+
+    # -- fleet views ---------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        return max(gateway.now_us for gateway in self._gateways.values())
+
+    @property
+    def in_flight(self) -> int:
+        return sum(gateway.in_flight for gateway in self._gateways.values())
+
+    def queue_depths(self) -> dict[int, int]:
+        return {
+            shard_id: gateway.queue_depth
+            for shard_id, gateway in sorted(self._gateways.items())
+        }
+
+    def session_counts(self) -> dict[int, int]:
+        return {
+            shard_id: len(sessions)
+            for shard_id, sessions in sorted(self._sessions_by_shard.items())
+        }
+
+    def observe_queue_depths(self) -> None:
+        """Publish per-shard queue depths as labelled gauges."""
+        if self.metrics is None:
+            return
+        for shard_id, depth in self.queue_depths().items():
+            self.metrics.gauge("router.queue_depth", shard=shard_id).set(depth)

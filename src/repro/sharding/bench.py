@@ -1,0 +1,735 @@
+"""The shard scale-out benchmark (``shard-bench``).
+
+Four seeded, deterministic phases — the sharding plane's acceptance
+gates:
+
+1. **Identity** — the same seeded workload against the unsharded
+   baseline (one ``ObliviousStateBackend`` over one path tree) and a
+   **1-shard** fleet.  A single-shard ring routes every key to shard 0,
+   whose client is built with the same derived key and parameters, so
+   the runs must be byte-identical: same Chrome trace JSON, same
+   metrics snapshot, same ORAM wire trace (leaf sequence + final tree
+   ciphertext), same logical world-state digest.
+2. **Scale-out** — the workload across 1/2/4/8 shards.  Page accesses
+   are independent single-page ORAM queries, so shard servers work in
+   parallel; aggregate throughput is total queries over the *makespan*
+   (the busiest shard's CPU time).  Gate: ≥ ``min_speedup``× at the
+   largest fleet vs one shard — consistent-hash balance is what makes
+   or breaks this, which is exactly why it is measured, not assumed.
+3. **Per-shard distinguisher** — at the largest fleet, every shard's
+   physical leaf trace is attacked separately (the idiom of
+   ``bench_security_distinguisher``): frequency-rank matching must
+   de-anonymize nothing, and the leaf histogram must pass chi-square
+   uniformity.  Sharding must not create a *smaller* anonymity set
+   whose skew an adversary could read.
+4. **Mixed backends** — a fleet with pyramid shards among path shards
+   (per-shard selection, the ``backend_for_working_set`` trade-off)
+   returns bit-exact values for every read.
+
+Everything runs on one host process over virtual time; throughput is
+the simulated fleet's, not the host's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.crypto.kdf import Drbg
+from repro.hardware.timing import SimClock
+from repro.oram import paging
+from repro.oram.adapter import ObliviousStateBackend
+from repro.oram.client import PathOramClient
+from repro.oram.hierarchical import HierarchicalOramServer, PyramidOramClient
+from repro.oram.server import OramServer
+from repro.security.analysis import frequency_attack, path_uniformity_pvalue
+from repro.security.observer import AccessPatternObserver
+from repro.serving.metrics import MetricsRegistry
+from repro.sharding.backend import (
+    PATH_BACKEND,
+    PYRAMID_BACKEND,
+    ShardedObliviousStateBackend,
+    ShardedOramConfig,
+    ShardedOramFleet,
+    shard_key,
+)
+from repro.sharding.ring import ConsistentHashRing
+from repro.state.account import Account, Address
+from repro.state.backend import CODE_PAGE_SIZE, STORAGE_GROUP_SIZE
+from repro.telemetry.exporters import render_chrome_trace
+from repro.telemetry.tracer import TraceSampler, install_tracer, uninstall_tracer
+
+_KIND_REAL = 1
+_READ_KINDS = ("meta", "storage", "code")
+
+
+@dataclass
+class ShardBenchConfig:
+    """One shard-bench invocation: world size, load shape, fleet sizes."""
+
+    seed: int = 1
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    accounts: int = 64
+    storage_groups_per_account: int = 2
+    slots_per_group: int = 4
+    code_pages_per_account: int = 2
+    reads: int = 960
+    # A hot subset keeps the workload honestly skewed (hot contracts),
+    # the regime where balance and obliviousness are hardest.
+    hot_accounts: int = 8
+    hot_percent: int = 30
+    oram_height: int = 8
+    oram_bucket_size: int = 4
+    stash_limit_blocks: int = 1024
+    decrypt_memo_blocks: int | None = 4096
+    query_cpu_us: float = 25.0
+    # 256 vnodes keep the busiest of 8 shards under ~15% of the traffic
+    # even with the hot-account skew — the balance the 6x gate rides on.
+    vnodes: int = 256
+    read_cost_us: float = 60.0  # virtual time the driver charges per read
+    min_speedup: float = 6.0
+    min_pvalue: float = 0.01
+    mixed_shard_count: int = 4
+    pyramid_cache_blocks: int = 48
+
+    @property
+    def max_shards(self) -> int:
+        return max(self.shard_counts)
+
+    @classmethod
+    def smoke(cls, seed: int = 1) -> "ShardBenchConfig":
+        """CI-sized: smaller world and fewer reads, same gates."""
+        return cls(seed=seed, accounts=32, reads=480, oram_height=7)
+
+
+def _master_key(config: ShardBenchConfig) -> bytes:
+    return hashlib.sha256(b"hardtape-shard-bench|%d" % config.seed).digest()
+
+
+def _build_accounts(config: ShardBenchConfig) -> dict[Address, Account]:
+    """A deterministic world: every page's expected content is known."""
+    accounts: dict[Address, Account] = {}
+    for index in range(config.accounts):
+        address = hashlib.blake2b(
+            b"shardbench-acct-%d" % index, digest_size=20
+        ).digest()
+        storage: dict[int, int] = {}
+        for group in range(config.storage_groups_per_account):
+            base = group * STORAGE_GROUP_SIZE
+            for slot in range(config.slots_per_group):
+                storage[base + slot] = index * 100_000 + group * 1_000 + slot
+        code_len = config.code_pages_per_account * CODE_PAGE_SIZE - 64
+        code = bytes((index + offset) % 251 for offset in range(code_len))
+        accounts[address] = Account(
+            balance=10**9 + index,
+            nonce=index % 7,
+            code=code,
+            storage=storage,
+        )
+    return accounts
+
+
+def _workload_page_keys(
+    accounts: dict[Address, Account], config: ShardBenchConfig
+) -> list[bytes]:
+    keys: list[bytes] = []
+    for address, account in accounts.items():
+        keys.append(paging.account_page_key(address))
+        for group in range(config.storage_groups_per_account):
+            keys.append(
+                paging.storage_page_key(address, group * STORAGE_GROUP_SIZE)
+            )
+        for page in range(config.code_pages_per_account):
+            keys.append(paging.code_page_key(address, page))
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Wire tap: the SP's view, hashed in arrival order
+# ----------------------------------------------------------------------
+
+def _tap_server(hasher, shard_id: int, server) -> None:
+    """Hash every adversary-visible access event as it happens."""
+    if isinstance(server, HierarchicalOramServer):
+
+        def on_slot(event) -> None:
+            hasher.update(b"S" + shard_id.to_bytes(2, "big"))
+            hasher.update(event.level.to_bytes(2, "big"))
+            hasher.update(event.bucket.to_bytes(4, "big"))
+            hasher.update(struct.pack(">d", event.sim_time_us))
+
+        server.add_observer(on_slot)
+    else:
+
+        def on_path(event) -> None:
+            hasher.update(b"P" + shard_id.to_bytes(2, "big"))
+            hasher.update(event.leaf.to_bytes(4, "big"))
+            hasher.update(struct.pack(">d", event.sim_time_us))
+
+        server.add_observer(on_path)
+
+
+def _fold_ciphertext(hasher, shard_id: int, server) -> None:
+    """Fold the final at-rest ciphertext into the wire hash."""
+    hasher.update(b"T" + shard_id.to_bytes(2, "big"))
+    if isinstance(server, HierarchicalOramServer):
+        for level, buckets in sorted(server.snapshot_levels().items()):
+            hasher.update(level.to_bytes(2, "big"))
+            for bucket in buckets:
+                for blob in bucket:
+                    hasher.update(blob)
+    else:
+        for bucket in server.snapshot_tree():
+            for blob in bucket:
+                hasher.update(blob)
+
+
+# ----------------------------------------------------------------------
+# Logical world digest (per backend kind, merged across shards)
+# ----------------------------------------------------------------------
+
+def _path_content(client: PathOramClient, server: OramServer) -> dict[bytes, bytes]:
+    content: dict[bytes, bytes] = {}
+    for node, bucket in enumerate(server.snapshot_tree()):
+        aad = client._bucket_aad(node, client._node_versions.get(node, 0))
+        for blob in bucket:
+            plain = client._cipher.decrypt(blob[:12], blob[12:], aad)
+            if plain[0] != _KIND_REAL:
+                continue
+            key_length = int.from_bytes(plain[1:3], "big")
+            content[plain[3:3 + key_length]] = plain[67:67 + client.block_size]
+    for key, payload in client._stash.items():
+        content[key] = payload.ljust(client.block_size, b"\x00")
+    return content
+
+
+def _pyramid_content(
+    client: PyramidOramClient, server: HierarchicalOramServer
+) -> dict[bytes, bytes]:
+    content: dict[bytes, bytes] = {}
+    levels = server.snapshot_levels()
+    # Deep levels first so shallower (fresher) copies overwrite them.
+    for level in sorted(levels, reverse=True):
+        meta = client._levels[level]
+        for bucket_index, blobs in enumerate(levels[level]):
+            aad = client._bucket_aad(level, meta.epoch, bucket_index)
+            for blob in blobs:
+                kind, key, payload = client._decrypt_slot(blob, aad)
+                if kind == _KIND_REAL:
+                    content[key] = payload
+                elif kind != 0:  # negative witness: key known absent
+                    content.pop(key, None)
+    for key, payload in client._cache.items():
+        if payload is None:
+            content.pop(key, None)
+        else:
+            content[key] = payload
+    return content
+
+
+def _world_digest(shards: dict[int, tuple]) -> str:
+    """SHA-256 over the merged logical content of every shard."""
+    content: dict[bytes, bytes] = {}
+    for _shard_id, (client, server) in sorted(shards.items()):
+        if isinstance(server, HierarchicalOramServer):
+            content.update(_pyramid_content(client, server))
+        else:
+            content.update(_path_content(client, server))
+    digest = hashlib.sha256()
+    for key in sorted(content):
+        digest.update(len(key).to_bytes(2, "big"))
+        digest.update(key)
+        digest.update(content[key])
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The driven workload
+# ----------------------------------------------------------------------
+
+def _drive_reads(
+    backend,
+    accounts: dict[Address, Account],
+    config: ShardBenchConfig,
+    clock: SimClock,
+    tracer,
+    registry: MetricsRegistry,
+) -> int:
+    """Seeded read mix with inline verification; returns mismatches."""
+    rng = Drbg(config.seed.to_bytes(8, "big"), personalization=b"shard-bench")
+    addresses = sorted(accounts)
+    hot = addresses[: config.hot_accounts]
+    mismatches = 0
+    for _ in range(config.reads):
+        if rng.randint(100) < config.hot_percent:
+            address = hot[rng.randint(len(hot))]
+        else:
+            address = addresses[rng.randint(len(addresses))]
+        account = accounts[address]
+        choice = rng.randint(3)
+        kind = _READ_KINDS[choice]
+        with tracer.span("shard.read", "oram_storage", kind=kind):
+            if choice == 0:
+                ok = backend.get_meta(address).balance == account.balance
+            elif choice == 1:
+                group = rng.randint(config.storage_groups_per_account)
+                slot = group * STORAGE_GROUP_SIZE + rng.randint(
+                    config.slots_per_group
+                )
+                ok = backend.get_storage(address, slot) == account.storage[slot]
+            else:
+                page_index = rng.randint(config.code_pages_per_account)
+                expected = account.code[
+                    page_index * CODE_PAGE_SIZE:(page_index + 1) * CODE_PAGE_SIZE
+                ].ljust(CODE_PAGE_SIZE, b"\x00")
+                ok = backend.get_code_page(address, page_index) == expected
+            clock.advance_us(config.read_cost_us)
+        registry.counter("shardbench.reads", kind=kind).inc()
+        if not ok:
+            mismatches += 1
+    registry.histogram("shardbench.virtual_us").observe(clock.now_us)
+    return mismatches
+
+
+@dataclass
+class _RunArtifacts:
+    """What one run leaves behind for the gates."""
+
+    trace_hash: str
+    metrics_hash: str
+    wire_hash: str
+    digest: str
+    mismatches: int
+    total_queries: int
+    makespan_us: float
+    per_shard_queries: dict[int, int]
+    per_shard_busy_us: dict[int, float]
+    leaves_by_shard: dict[int, list[int]] = field(default_factory=dict)
+    page_frequency: Counter = field(default_factory=Counter)
+
+    @property
+    def aggregate_tps(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.total_queries / (self.makespan_us / 1e6)
+
+    @property
+    def max_share(self) -> float:
+        if self.total_queries == 0:
+            return 0.0
+        return max(self.per_shard_queries.values()) / self.total_queries
+
+
+def _server_queries(server) -> int:
+    if isinstance(server, HierarchicalOramServer):
+        return server.stats.bucket_reads
+    return server.stats.reads
+
+
+def _run_unsharded(config: ShardBenchConfig) -> _RunArtifacts:
+    """The baseline: one path tree, shard-0 key, no ring anywhere."""
+    clock = SimClock()
+    registry = MetricsRegistry()
+    tracer = install_tracer(clock, TraceSampler(1.0, config.seed))
+    wire = hashlib.sha256()
+    try:
+        server = OramServer(
+            height=config.oram_height,
+            bucket_size=config.oram_bucket_size,
+            query_cpu_us=config.query_cpu_us,
+        )
+        _tap_server(wire, 0, server)
+        client = PathOramClient(
+            server,
+            shard_key(_master_key(config), 0),
+            block_size=paging.PAGE_SIZE,
+            stash_limit=config.stash_limit_blocks,
+            decrypt_memo_blocks=config.decrypt_memo_blocks,
+        )
+        backend = ObliviousStateBackend(client, clock=lambda: clock.now_us)
+        accounts = _build_accounts(config)
+        backend.sync_world(accounts)
+        mismatches = _drive_reads(backend, accounts, config, clock, tracer, registry)
+        trace_json = render_chrome_trace(tracer)
+    finally:
+        uninstall_tracer(clock)
+    _fold_ciphertext(wire, 0, server)
+    return _RunArtifacts(
+        trace_hash=hashlib.sha256(trace_json.encode()).hexdigest(),
+        metrics_hash=hashlib.sha256(
+            json.dumps(registry.snapshot(), sort_keys=True).encode()
+        ).hexdigest(),
+        wire_hash=wire.hexdigest(),
+        digest=_world_digest({0: (client, server)}),
+        mismatches=mismatches,
+        total_queries=_server_queries(server),
+        makespan_us=server.stats.busy_time_us,
+        per_shard_queries={0: _server_queries(server)},
+        per_shard_busy_us={0: server.stats.busy_time_us},
+    )
+
+
+def _run_fleet(
+    config: ShardBenchConfig,
+    shard_count: int,
+    backend_overrides: dict[int, str] | None = None,
+) -> _RunArtifacts:
+    """One sharded run; collects per-shard traces for the gates."""
+    clock = SimClock()
+    registry = MetricsRegistry()
+    tracer = install_tracer(clock, TraceSampler(1.0, config.seed))
+    wire = hashlib.sha256()
+    try:
+        fleet_config = ShardedOramConfig(
+            shard_count=shard_count,
+            oram_height=config.oram_height,
+            oram_bucket_size=config.oram_bucket_size,
+            stash_limit_blocks=config.stash_limit_blocks,
+            decrypt_memo_blocks=config.decrypt_memo_blocks,
+            query_cpu_us=config.query_cpu_us,
+            vnodes=config.vnodes,
+            backend_overrides=dict(backend_overrides or {}),
+            pyramid_cache_blocks=config.pyramid_cache_blocks,
+        )
+        fleet = ShardedOramFleet(fleet_config, _master_key(config))
+        observers: dict[int, AccessPatternObserver] = {}
+        for shard_id, shard in sorted(fleet.shards.items()):
+            _tap_server(wire, shard_id, shard.server)
+            if shard.backend == PATH_BACKEND:
+                observers[shard_id] = AccessPatternObserver().attach(shard.server)
+        backend = ShardedObliviousStateBackend(
+            fleet, clock=lambda: clock.now_us
+        )
+        accounts = _build_accounts(config)
+        backend.sync_world(accounts)
+        for observer in observers.values():
+            observer.clear()  # the distinguisher attacks the read phase
+        read_log_start = len(backend.stats.log)
+        mismatches = _drive_reads(backend, accounts, config, clock, tracer, registry)
+        trace_json = render_chrome_trace(tracer)
+    finally:
+        uninstall_tracer(clock)
+    for shard_id, shard in sorted(fleet.shards.items()):
+        _fold_ciphertext(wire, shard_id, shard.server)
+    page_frequency = Counter(
+        record.page_key for record in backend.stats.log[read_log_start:]
+    )
+    return _RunArtifacts(
+        trace_hash=hashlib.sha256(trace_json.encode()).hexdigest(),
+        metrics_hash=hashlib.sha256(
+            json.dumps(registry.snapshot(), sort_keys=True).encode()
+        ).hexdigest(),
+        wire_hash=wire.hexdigest(),
+        digest=_world_digest(
+            {
+                shard_id: (shard.client, shard.server)
+                for shard_id, shard in fleet.shards.items()
+            }
+        ),
+        mismatches=mismatches,
+        total_queries=sum(
+            _server_queries(shard.server) for shard in fleet.shards.values()
+        ),
+        makespan_us=max(
+            shard.server.stats.busy_time_us for shard in fleet.shards.values()
+        ),
+        per_shard_queries={
+            shard_id: _server_queries(shard.server)
+            for shard_id, shard in sorted(fleet.shards.items())
+        },
+        per_shard_busy_us={
+            shard_id: shard.server.stats.busy_time_us
+            for shard_id, shard in sorted(fleet.shards.items())
+        },
+        leaves_by_shard={
+            shard_id: list(observer.leaves)
+            for shard_id, observer in sorted(observers.items())
+        },
+        page_frequency=page_frequency,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-shard distinguisher (the bench_security_distinguisher idiom)
+# ----------------------------------------------------------------------
+
+def _distinguisher_rows(
+    run: _RunArtifacts, config: ShardBenchConfig
+) -> list[dict]:
+    """Attack each shard's leaf trace separately.
+
+    Truth per shard: that shard's page keys ranked by their true
+    (driver-known) access frequency — the public knowledge a chain
+    adversary holds.  The frequency attack maps leaf ranks onto it and
+    must de-anonymize nothing; chi-square checks leaf uniformity.
+    """
+    leaf_count = 2 ** config.oram_height
+    # Reconstruct shard ownership with the fleet's own (default) ring.
+    ring = ConsistentHashRing(
+        range(len(run.per_shard_queries)), vnodes=config.vnodes
+    )
+    by_shard: dict[int, list[tuple[int, bytes]]] = {
+        shard_id: [] for shard_id in run.per_shard_queries
+    }
+    for page_key, count in run.page_frequency.items():
+        by_shard[ring.shard_for(page_key)].append((count, page_key))
+    rows = []
+    for shard_id, leaves in sorted(run.leaves_by_shard.items()):
+        ranking = [
+            key
+            for _count, key in sorted(
+                by_shard[shard_id], key=lambda item: (-item[0], item[1])
+            )
+        ][:16]
+        handles = [leaf.to_bytes(4, "big") for leaf in leaves]
+        samples = len(leaves)
+        bins = 8 if samples >= 40 else 4
+        pvalue = (
+            path_uniformity_pvalue(leaves, leaf_count, bins=bins)
+            if samples >= bins * 5
+            else 0.0
+        )
+        rows.append(
+            {
+                "shard": shard_id,
+                "samples": samples,
+                "frequency_accuracy": frequency_attack(handles, ranking),
+                "uniformity_pvalue": pvalue,
+                "bins": bins,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Report + gates
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardBenchReport:
+    seed: int
+    identity: dict[str, bool]
+    baseline: dict
+    scaleout: list[dict]
+    speedup: float
+    distinguisher: list[dict]
+    mixed: dict
+    ring: dict
+    gate_failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "bench": "shard-scaleout",
+                "seed": self.seed,
+                "identity": self.identity,
+                "baseline": self.baseline,
+                "scaleout": self.scaleout,
+                "speedup": self.speedup,
+                "distinguisher": self.distinguisher,
+                "mixed": self.mixed,
+                "ring": self.ring,
+                "gate_failures": self.gate_failures,
+                "passed": self.passed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            "identity (unsharded vs 1-shard fleet, seeded): "
+            + (
+                "byte-identical"
+                if all(self.identity.values())
+                else f"DIVERGED {sorted(k for k, v in self.identity.items() if not v)}"
+            ),
+        ]
+        lines.append("| shards | queries | makespan (ms) | agg. tx/s | max share |")
+        lines.append("|-------:|--------:|--------------:|----------:|----------:|")
+        for row in self.scaleout:
+            lines.append(
+                f"| {row['shards']} | {row['total_queries']} "
+                f"| {row['makespan_us'] / 1000:.2f} "
+                f"| {row['aggregate_tps']:.0f} | {row['max_share']:.1%} |"
+            )
+        lines.append(
+            f"speedup at {self.scaleout[-1]['shards']} shards: "
+            f"{self.speedup:.2f}x (gate >= {self.ring['min_speedup']}x)"
+        )
+        worst = min(
+            (row["uniformity_pvalue"] for row in self.distinguisher), default=1.0
+        )
+        lines.append(
+            f"per-shard distinguisher: frequency accuracy "
+            f"{max(row['frequency_accuracy'] for row in self.distinguisher):.2f}, "
+            f"worst uniformity p-value {worst:.3f} across "
+            f"{len(self.distinguisher)} shards"
+        )
+        lines.append(
+            f"mixed fleet ({self.mixed['backends']}): "
+            + ("all reads bit-exact" if self.mixed["ok"] else "MISMATCHES")
+        )
+        lines.append(
+            f"ring: {self.ring['pages']} pages, add-shard remap "
+            f"{self.ring['remap_fraction']:.1%} "
+            f"(~1/{self.ring['shards']} expected), "
+            f"digest {self.ring['table_digest'][:12]}"
+        )
+        if self.gate_failures:
+            lines.append("gate failures:")
+            lines.extend(f"  - {failure}" for failure in self.gate_failures)
+        else:
+            lines.append("all gates passed")
+        return lines
+
+
+def run_shard_bench(config: ShardBenchConfig) -> ShardBenchReport:
+    if 1 not in config.shard_counts:
+        raise ValueError("shard_counts must include 1 (the identity anchor)")
+    unsharded = _run_unsharded(config)
+    runs = {
+        count: _run_fleet(config, count) for count in sorted(config.shard_counts)
+    }
+    one = runs[1]
+    identity = {
+        "trace": unsharded.trace_hash == one.trace_hash,
+        "metrics": unsharded.metrics_hash == one.metrics_hash,
+        "wire": unsharded.wire_hash == one.wire_hash,
+        "digest": unsharded.digest == one.digest,
+    }
+
+    scaleout = [
+        {
+            "shards": count,
+            "total_queries": run.total_queries,
+            "makespan_us": run.makespan_us,
+            "aggregate_tps": run.aggregate_tps,
+            "max_share": run.max_share,
+            "per_shard_queries": {
+                str(sid): queries for sid, queries in run.per_shard_queries.items()
+            },
+        }
+        for count, run in runs.items()
+    ]
+    top = runs[config.max_shards]
+    speedup = top.aggregate_tps / runs[1].aggregate_tps if runs[1].aggregate_tps else 0.0
+    distinguisher = _distinguisher_rows(top, config)
+
+    # Mixed fleet: pyramid on alternating shards, path on the rest —
+    # the per-shard selection backend_for_working_set drives in a real
+    # deployment, exercised explicitly here.
+    overrides = {
+        shard_id: PYRAMID_BACKEND
+        for shard_id in range(1, config.mixed_shard_count, 2)
+    }
+    mixed_run = _run_fleet(config, config.mixed_shard_count, overrides)
+    mixed = {
+        "shards": config.mixed_shard_count,
+        "backends": "+".join(
+            sorted({PATH_BACKEND, PYRAMID_BACKEND})
+        ),
+        "pyramid_shards": sorted(overrides),
+        "mismatches": mixed_run.mismatches,
+        "ok": mixed_run.mismatches == 0,
+    }
+
+    # Ring movement: adding shard N to an (N-1)-shard ring moves ~1/N
+    # of the workload's pages and nothing else (measured, not assumed).
+    accounts = _build_accounts(config)
+    pages = _workload_page_keys(accounts, config)
+    big = ConsistentHashRing(range(config.max_shards), vnodes=config.vnodes)
+    small = big.without_shard(config.max_shards - 1)
+    moved = sum(1 for key in pages if big.shard_for(key) != small.shard_for(key))
+    ring = {
+        "shards": config.max_shards,
+        "vnodes": config.vnodes,
+        "pages": len(pages),
+        "remap_fraction": moved / len(pages),
+        "table_digest": big.table_digest(),
+        "min_speedup": config.min_speedup,
+    }
+
+    failures: list[str] = []
+    for name, equal in identity.items():
+        if not equal:
+            failures.append(
+                f"identity: the 1-shard fleet changed the {name} bytes of the "
+                f"seeded baseline run"
+            )
+    for count, run in runs.items():
+        if run.mismatches:
+            failures.append(
+                f"{run.mismatches} read mismatch(es) at {count} shard(s)"
+            )
+    if unsharded.mismatches:
+        failures.append(f"{unsharded.mismatches} read mismatch(es) unsharded")
+    if speedup < config.min_speedup:
+        failures.append(
+            f"aggregate speedup {speedup:.2f}x at {config.max_shards} shards "
+            f"is below the {config.min_speedup}x gate"
+        )
+    for row in distinguisher:
+        if row["samples"] < 20:
+            failures.append(
+                f"shard {row['shard']}: only {row['samples']} leaf samples "
+                f"(need >= 20 for the uniformity test)"
+            )
+            continue
+        if row["frequency_accuracy"] > 0.0:
+            failures.append(
+                f"shard {row['shard']}: frequency attack de-anonymized "
+                f"{row['frequency_accuracy']:.0%} of the ranking"
+            )
+        if row["uniformity_pvalue"] <= config.min_pvalue:
+            failures.append(
+                f"shard {row['shard']}: leaf uniformity p-value "
+                f"{row['uniformity_pvalue']:.4f} <= {config.min_pvalue}"
+            )
+    if not mixed["ok"]:
+        failures.append(
+            f"mixed path+pyramid fleet returned {mixed['mismatches']} "
+            f"mismatched read(s)"
+        )
+    if ring["remap_fraction"] > 2.5 / config.max_shards:
+        failures.append(
+            f"ring remapped {ring['remap_fraction']:.1%} of pages on shard "
+            f"add; bound is ~{1 / config.max_shards:.1%} (2.5x tolerance)"
+        )
+
+    def _obj(run: _RunArtifacts) -> dict:
+        return {
+            "trace_hash": run.trace_hash,
+            "metrics_hash": run.metrics_hash,
+            "wire_hash": run.wire_hash,
+            "digest": run.digest,
+            "total_queries": run.total_queries,
+            "makespan_us": run.makespan_us,
+            "aggregate_tps": run.aggregate_tps,
+        }
+
+    return ShardBenchReport(
+        seed=config.seed,
+        identity=identity,
+        baseline=_obj(unsharded),
+        scaleout=scaleout,
+        speedup=speedup,
+        distinguisher=distinguisher,
+        mixed=mixed,
+        ring=ring,
+        gate_failures=failures,
+    )
+
+
+__all__ = [
+    "ShardBenchConfig",
+    "ShardBenchReport",
+    "run_shard_bench",
+]

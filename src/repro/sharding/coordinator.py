@@ -1,0 +1,137 @@
+"""Two-phase sync-root pinning for cross-shard transactions.
+
+A transaction whose frames touch several shards must execute against a
+*consistent cut*: every touched shard's sync root frozen at the same
+logical instant.  The protocol is the classic two-phase shape —
+
+1. **Pin** every touched shard's root, always acquiring in ascending
+   shard-id order (the fleet-wide lock order, so pin cycles — and with
+   them deadlocks — cannot form).  The resulting :class:`PinTicket`
+   records the roots the transaction executed against.
+2. Execute; the access layer rejects any touch outside the pinned set
+   (:class:`~repro.sharding.errors.UnpinnedShardAccessError` — a
+   mis-planned read set is re-planned, never silently widened).
+3. **Commit + release**: only the ticket holder may advance a pinned
+   shard's root; everyone else's root mutation raises
+   :class:`~repro.sharding.errors.ShardPinnedError` until release.
+
+Pins are shared (reader-style): two transactions may pin the same
+shard concurrently — both executed against the same frozen root, and
+neither may be invalidated by a sync while either holds its pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sharding.errors import ShardPinnedError, UnpinnedShardAccessError
+
+
+@dataclass(frozen=True)
+class PinTicket:
+    """Proof of a completed pin phase: shard set + the roots seen."""
+
+    ticket_id: int
+    shard_ids: tuple[int, ...]
+    pinned_roots: tuple[tuple[int, bytes | None], ...]
+
+    def root_of(self, shard_id: int) -> bytes | None:
+        for sid, root in self.pinned_roots:
+            if sid == shard_id:
+                return root
+        raise KeyError(f"shard {shard_id} not in ticket {self.ticket_id}")
+
+
+@dataclass
+class PinStats:
+    pins_acquired: int = 0
+    pins_released: int = 0
+    sync_conflicts: int = 0  # note_root refused: shard was pinned
+    max_concurrent_tickets: int = 0
+
+
+class SyncRootCoordinator:
+    """Tracks per-shard sync roots and the pins freezing them."""
+
+    def __init__(self, shard_ids) -> None:
+        self._roots: dict[int, bytes | None] = {sid: None for sid in shard_ids}
+        # shard id -> ids of the tickets currently pinning it.
+        self._pins: dict[int, list[int]] = {}
+        self._active: dict[int, PinTicket] = {}
+        self._next_ticket = 1
+        self.stats = PinStats()
+
+    # -- topology ------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._roots))
+
+    def root_of(self, shard_id: int) -> bytes | None:
+        return self._roots[shard_id]
+
+    def is_pinned(self, shard_id: int) -> bool:
+        return bool(self._pins.get(shard_id))
+
+    def pinned_shards(self) -> tuple[int, ...]:
+        return tuple(sorted(sid for sid, tickets in self._pins.items() if tickets))
+
+    # -- phase 1: pin --------------------------------------------------
+
+    def pin(self, shard_ids) -> PinTicket:
+        """Pin every listed shard's root; all-or-nothing, sorted order."""
+        order = tuple(sorted(set(shard_ids)))
+        if not order:
+            raise ValueError("a pin needs at least one shard")
+        unknown = [sid for sid in order if sid not in self._roots]
+        if unknown:
+            raise ValueError(f"unknown shards in pin request: {unknown}")
+        ticket_id = self._next_ticket
+        self._next_ticket += 1
+        for sid in order:
+            self._pins.setdefault(sid, []).append(ticket_id)
+        ticket = PinTicket(
+            ticket_id=ticket_id,
+            shard_ids=order,
+            pinned_roots=tuple((sid, self._roots[sid]) for sid in order),
+        )
+        self._active[ticket_id] = ticket
+        self.stats.pins_acquired += 1
+        self.stats.max_concurrent_tickets = max(
+            self.stats.max_concurrent_tickets, len(self._active)
+        )
+        return ticket
+
+    # -- commit --------------------------------------------------------
+
+    def advance_root(self, ticket: PinTicket, shard_id: int, root: bytes) -> None:
+        """Commit-time root advance: only the pin holder may do this."""
+        if ticket.ticket_id not in self._active:
+            raise ValueError(f"ticket {ticket.ticket_id} is not active")
+        if shard_id not in ticket.shard_ids:
+            raise UnpinnedShardAccessError(shard_id, ticket.ticket_id)
+        self._roots[shard_id] = root
+
+    # -- phase 2: release ----------------------------------------------
+
+    def release(self, ticket: PinTicket) -> None:
+        if ticket.ticket_id not in self._active:
+            raise ValueError(
+                f"ticket {ticket.ticket_id} already released (or never issued)"
+            )
+        del self._active[ticket.ticket_id]
+        for sid in ticket.shard_ids:
+            self._pins[sid].remove(ticket.ticket_id)
+        self.stats.pins_released += 1
+
+    # -- the sync plane's entry point ----------------------------------
+
+    def note_root(self, shard_id: int, root: bytes | None) -> None:
+        """Record a new sync root for a shard — refused while pinned."""
+        if shard_id not in self._roots:
+            raise ValueError(f"unknown shard {shard_id}")
+        holders = self._pins.get(shard_id)
+        if holders:
+            self.stats.sync_conflicts += 1
+            raise ShardPinnedError(shard_id, holders[0])
+        self._roots[shard_id] = root

@@ -1,0 +1,75 @@
+"""Per-shard observability: labelled metrics for the whole fleet.
+
+One :class:`ShardMetricsExporter` snapshots the fleet into the serving
+layer's :class:`~repro.serving.metrics.MetricsRegistry` with a
+``shard=<id>`` label on every series, so the existing Prometheus
+exporter (:func:`repro.telemetry.exporters.render_prometheus`) renders
+a fleet dashboard with zero new wire formats:
+
+* ``shard.oram.accesses`` / ``shard.oram.server_queries`` — counters,
+  advanced by delta so repeated collections never double-count;
+* ``shard.oram.stash_blocks`` — gauge; path stash or pyramid top cache
+  (the peak is the number that matters for on-chip sizing);
+* ``shard.oram.server_busy_us`` — gauge; the makespan input the
+  scale-out bench aggregates;
+* ``shard.gateway.queue_depth`` / ``shard.gateway.sessions`` — gauges,
+  when a :class:`~repro.serving.router.ShardSessionRouter` is given.
+
+Collection is read-only and deterministic (shards visited in id
+order); it is *opt-in* precisely so a sharded run that never collects
+produces the same registry bytes as an unsharded one — the seeded
+identity invariant stays intact.
+"""
+
+from __future__ import annotations
+
+from repro.serving.metrics import MetricsRegistry
+from repro.sharding.backend import ShardedOramFleet
+
+
+class ShardMetricsExporter:
+    """Snapshots per-shard counters/gauges into a labelled registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._last_accesses: dict[int, int] = {}
+        self._last_queries: dict[int, int] = {}
+
+    @staticmethod
+    def _server_queries(server) -> int:
+        # Path servers count path reads; hierarchical ones bucket reads.
+        stats = server.stats
+        return getattr(stats, "reads", None) or getattr(stats, "bucket_reads", 0)
+
+    def collect(self, fleet: ShardedOramFleet, router=None) -> None:
+        """One observation pass over the fleet (and optionally the router)."""
+        for shard_id, shard in sorted(fleet.shards.items()):
+            accesses = shard.client.stats.accesses
+            delta = accesses - self._last_accesses.get(shard_id, 0)
+            self.registry.counter(
+                "shard.oram.accesses", shard=shard_id, backend=shard.backend
+            ).inc(delta)
+            self._last_accesses[shard_id] = accesses
+
+            queries = self._server_queries(shard.server)
+            delta = queries - self._last_queries.get(shard_id, 0)
+            self.registry.counter(
+                "shard.oram.server_queries", shard=shard_id, backend=shard.backend
+            ).inc(delta)
+            self._last_queries[shard_id] = queries
+
+            self.registry.gauge(
+                "shard.oram.stash_blocks", shard=shard_id, backend=shard.backend
+            ).set(shard.stash_blocks)
+            self.registry.gauge(
+                "shard.oram.server_busy_us", shard=shard_id, backend=shard.backend
+            ).set(shard.server.stats.busy_time_us)
+        if router is not None:
+            for shard_id, depth in router.queue_depths().items():
+                self.registry.gauge("shard.gateway.queue_depth", shard=shard_id).set(
+                    depth
+                )
+            for shard_id, count in router.session_counts().items():
+                self.registry.gauge("shard.gateway.sessions", shard=shard_id).set(
+                    count
+                )

@@ -1,0 +1,107 @@
+"""Unit tests for the shard-aware session router (repro.serving.router)."""
+
+import pytest
+
+from repro.serving import (
+    Gateway,
+    GatewayConfig,
+    MetricsRegistry,
+    RequestStatus,
+    ShardSessionRouter,
+)
+
+pytestmark = pytest.mark.sharding
+
+
+class StubExecutor:
+    """Fixed-duration executor (the serving test-suite idiom)."""
+
+    def __init__(self, slot_count=2, service_us=100.0):
+        self.slots = [None] * slot_count
+        self.service_us = service_us
+        self.executed = []
+
+    def execute(self, request, start_us):
+        self.executed.append(request.request_id)
+        return self.service_us, ("ran", request.request_id)
+
+
+def _router(shard_count=4, metrics=None):
+    gateways = {
+        sid: Gateway(StubExecutor(), GatewayConfig(max_queue_depth=64))
+        for sid in range(shard_count)
+    }
+    return ShardSessionRouter(gateways, metrics=metrics), gateways
+
+
+def _sessions(n):
+    return [b"session-%04d" % i for i in range(n)]
+
+
+def test_sessions_are_sticky_and_deterministic():
+    router_a, _ = _router()
+    router_b, _ = _router()
+    for session in _sessions(64):
+        shard = router_a.shard_for_session(session)
+        assert shard == router_a.shard_for_session(session)  # sticky
+        assert shard == router_b.shard_for_session(session)  # seeded
+    placements = {router_a.shard_for_session(s) for s in _sessions(64)}
+    assert placements == {0, 1, 2, 3}  # every shard gets tenants
+
+
+def test_session_and_page_rings_are_independent_domains():
+    from repro.sharding.ring import ConsistentHashRing
+
+    router, _ = _router()
+    page_ring = ConsistentHashRing(range(4))
+    placements = [
+        (router.shard_for_session(s), page_ring.shard_for(s))
+        for s in _sessions(64)
+    ]
+    assert any(a != b for a, b in placements)  # distinct hash domains
+
+
+def test_submit_routes_to_owning_gateway_and_counts():
+    registry = MetricsRegistry()
+    router, gateways = _router(metrics=registry)
+    requests = [router.submit(s, payload=i) for i, s in enumerate(_sessions(12))]
+    done = router.drain()
+    assert len(done) == len(requests)
+    assert all(r.status is RequestStatus.COMPLETED for r in done)
+    executed = {
+        sid: len(gateway.executor.executed) for sid, gateway in gateways.items()
+    }
+    counts = router.session_counts()
+    assert executed == counts  # each request ran on its session's shard
+    snapshot = registry.snapshot()
+    for sid, count in counts.items():
+        if count:
+            assert snapshot[f"router.submitted{{shard={sid}}}"] == count
+
+
+def test_fleet_views_merge_in_shard_order():
+    router, gateways = _router(2)
+    for session in _sessions(6):
+        router.submit(session, payload=0)
+    depths = router.queue_depths()
+    assert set(depths) == {0, 1}
+    assert router.in_flight == sum(
+        gateway.in_flight for gateway in gateways.values()
+    )
+    router.drain()
+    assert router.in_flight == 0
+    assert router.now_us == max(g.now_us for g in gateways.values())
+
+
+def test_observe_queue_depths_publishes_labelled_gauges():
+    registry = MetricsRegistry()
+    router, _ = _router(2, metrics=registry)
+    router.observe_queue_depths()
+    snapshot = registry.snapshot()
+    assert "router.queue_depth{shard=0}" in snapshot
+    assert "router.queue_depth{shard=1}" in snapshot
+
+
+def test_router_requires_gateways():
+    with pytest.raises(ValueError):
+        ShardSessionRouter({})
