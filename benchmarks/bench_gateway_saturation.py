@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.serving
+
 from repro.hardware.timing import CostModel
 from repro.serving import (
     FleetModelExecutor,

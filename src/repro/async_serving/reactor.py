@@ -1,0 +1,222 @@
+"""The event-driven reactor core: one loop, thousands of sessions.
+
+Two interchangeable reactors drive the serving tier:
+
+* :class:`VirtualReactor` — a pure virtual-time event loop in the same
+  time domain as :class:`~repro.hardware.timing.SimClock`.  Every event
+  fires at an exact simulated microsecond in a deterministic order
+  (time, then scheduling sequence), so identically-seeded runs are
+  byte-identical — the property every bench gate in this repo leans on.
+* :class:`AsyncioReactorAdapter` — the same surface mapped onto a real
+  ``asyncio`` loop for the wall-clock path, with ``time_scale`` turning
+  virtual microseconds into loop seconds.  Useful for demos against
+  real sockets; nothing deterministic is gated on it.
+
+Neither reactor knows anything about sessions or gateways: they
+schedule callbacks.  The tier composes them with the gateway's own
+virtual event heap by merging "next reactor event" against "next
+gateway completion" in time order (see ``tier.AsyncServingTier.run``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class ReactorHandle:
+    """A scheduled callback; ``cancel()`` is O(1), the heap skips it."""
+
+    __slots__ = ("at_us", "seq", "callback", "args", "cancelled", "_reactor")
+
+    def __init__(self, at_us: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, reactor: "VirtualReactor") -> None:
+        self.at_us = at_us
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._reactor = reactor
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._reactor._pending -= 1
+
+    def __lt__(self, other: "ReactorHandle") -> bool:
+        return (self.at_us, self.seq) < (other.at_us, other.seq)
+
+
+class VirtualReactor:
+    """Deterministic virtual-time event loop.
+
+    Events fire strictly in ``(at_us, scheduling order)``; a callback
+    may schedule further events (including at the current instant —
+    they run in the same pass).  Time never flows backwards.
+    """
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = start_us
+        self._seq = 0
+        self._heap: list[ReactorHandle] = []
+        self._pending = 0
+        self.events_fired = 0
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def pending(self) -> int:
+        """Scheduled, not-yet-fired, not-cancelled events."""
+        return self._pending
+
+    def call_at(self, at_us: float, callback: Callable[..., Any],
+                *args: Any) -> ReactorHandle:
+        if at_us < self._now_us:
+            raise ValueError(
+                f"cannot schedule at {at_us} (now is {self._now_us})"
+            )
+        self._seq += 1
+        handle = ReactorHandle(at_us, self._seq, callback, args, self)
+        heapq.heappush(self._heap, handle)
+        self._pending += 1
+        return handle
+
+    def call_later(self, delay_us: float, callback: Callable[..., Any],
+                   *args: Any) -> ReactorHandle:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        return self.call_at(self._now_us + delay_us, callback, *args)
+
+    def peek_next_us(self) -> float | None:
+        """Fire time of the earliest live event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].at_us if self._heap else None
+
+    def run_until(self, deadline_us: float) -> int:
+        """Fire every event due at or before ``deadline_us``; returns count.
+
+        The clock lands exactly on ``deadline_us`` afterwards (or stays
+        put if the deadline is in the past).
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.at_us > deadline_us:
+                break
+            heapq.heappop(self._heap)
+            self._pending -= 1
+            self._now_us = head.at_us
+            self.events_fired += 1
+            fired += 1
+            head.callback(*head.args)
+        if deadline_us > self._now_us:
+            self._now_us = deadline_us
+        return fired
+
+    def run_until_idle(self) -> int:
+        """Drain the heap completely (callbacks may keep extending it)."""
+        fired = 0
+        while True:
+            next_us = self.peek_next_us()
+            if next_us is None:
+                return fired
+            fired += self.run_until(next_us)
+
+
+class _AdapterHandle:
+    """Cancellation wrapper keeping the adapter's pending count honest."""
+
+    __slots__ = ("_adapter", "_timer", "cancelled", "fired")
+
+    def __init__(self, adapter: "AsyncioReactorAdapter") -> None:
+        self._adapter = adapter
+        self._timer = None
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        if self.cancelled or self.fired:
+            return
+        self.cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self._adapter._on_settled()
+
+
+class AsyncioReactorAdapter:
+    """The reactor surface over a private ``asyncio`` event loop.
+
+    ``time_scale`` is wall-clock seconds per virtual microsecond; the
+    default ``1e-6`` runs virtual time at real speed, smaller values
+    compress it.  ``run_until_idle`` returns once every scheduled (and
+    transitively scheduled) callback has run — the loop stops itself
+    when the pending count hits zero.
+    """
+
+    def __init__(self, time_scale: float = 1e-6) -> None:
+        import asyncio
+
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._loop = asyncio.new_event_loop()
+        self._origin = self._loop.time()
+        self._time_scale = time_scale
+        self._pending = 0
+        self.events_fired = 0
+
+    @property
+    def now_us(self) -> float:
+        return (self._loop.time() - self._origin) / self._time_scale
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def _on_settled(self) -> None:
+        self._pending -= 1
+        if self._pending == 0 and self._loop.is_running():
+            self._loop.stop()
+
+    def call_at(self, at_us: float, callback: Callable[..., Any],
+                *args: Any) -> _AdapterHandle:
+        handle = _AdapterHandle(self)
+
+        def runner() -> None:
+            if handle.cancelled:
+                return
+            handle.fired = True
+            self.events_fired += 1
+            try:
+                callback(*args)
+            finally:
+                self._on_settled()
+
+        self._pending += 1
+        handle._timer = self._loop.call_at(
+            self._origin + at_us * self._time_scale, runner
+        )
+        return handle
+
+    def call_later(self, delay_us: float, callback: Callable[..., Any],
+                   *args: Any) -> _AdapterHandle:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        return self.call_at(self.now_us + delay_us, callback, *args)
+
+    def run_until_idle(self) -> int:
+        before = self.events_fired
+        while self._pending:
+            self._loop.run_forever()
+        return self.events_fired - before
+
+    def close(self) -> None:
+        self._loop.close()
+
+
+__all__ = ["AsyncioReactorAdapter", "ReactorHandle", "VirtualReactor"]

@@ -1,0 +1,123 @@
+"""Per-session state machines for the async serving tier.
+
+Every connected user is one :class:`AsyncSession` record — a few
+hundred bytes, never a thread or a channel object while suspended —
+walking the lifecycle::
+
+    HANDSHAKING ──► ACTIVE ──► SUSPENDED ──► RESUMED ──► ACTIVE …
+         │             │            │            │
+         └─────────────┴────────────┴────────────┴──► CLOSED
+
+* ``HANDSHAKING`` — the full attestation+DHKE is in flight; arriving
+  payloads queue on the session.
+* ``ACTIVE`` — dispatching onto the gateway/router.
+* ``SUSPENDED`` — idle-evicted: the hypervisor sealed the session into
+  a resumption ticket and dropped it from memory.  The tier keeps only
+  this record and the client-held ticket state.
+* ``RESUMED`` — a ticket redemption is in flight (one round-trip);
+  payloads queue exactly as in ``HANDSHAKING``.
+* ``SUSPENDED → HANDSHAKING`` is the *stale-ticket fallback*: the
+  hypervisor restarted since the mint, the ticket was refused with a
+  typed ``StaleTicketError``, and the only way back in is a fresh full
+  handshake.
+
+Transitions outside the map raise :class:`InvalidSessionTransition` —
+a tier bug, never load-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SessionState:
+    HANDSHAKING = "handshaking"
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    RESUMED = "resumed"
+    CLOSED = "closed"
+
+
+_ALLOWED: dict[str, frozenset[str]] = {
+    SessionState.HANDSHAKING: frozenset(
+        {SessionState.ACTIVE, SessionState.CLOSED}
+    ),
+    SessionState.ACTIVE: frozenset(
+        {SessionState.SUSPENDED, SessionState.CLOSED}
+    ),
+    SessionState.SUSPENDED: frozenset(
+        # RESUMED via ticket; HANDSHAKING is the stale-ticket fallback.
+        {SessionState.RESUMED, SessionState.HANDSHAKING, SessionState.CLOSED}
+    ),
+    SessionState.RESUMED: frozenset(
+        {SessionState.ACTIVE, SessionState.CLOSED}
+    ),
+    SessionState.CLOSED: frozenset(),
+}
+
+# States in which the session counts against the tier's live-session cap.
+LIVE_STATES = frozenset({
+    SessionState.HANDSHAKING,
+    SessionState.ACTIVE,
+    SessionState.SUSPENDED,
+    SessionState.RESUMED,
+})
+
+
+class InvalidSessionTransition(Exception):
+    """The tier attempted a lifecycle edge the state machine forbids."""
+
+    def __init__(self, routing_id: bytes, src: str, dst: str) -> None:
+        super().__init__(
+            f"session {routing_id.hex()[:16]}: illegal transition "
+            f"{src} -> {dst}"
+        )
+        self.routing_id = routing_id
+        self.src = src
+        self.dst = dst
+
+
+@dataclass
+class AsyncSession:
+    """One multiplexed session's bookkeeping (a record, not a thread)."""
+
+    routing_id: bytes               # stable id: shard routing + gateway accounting
+    opened_at_us: float
+    state: str = SessionState.HANDSHAKING
+    last_activity_us: float = 0.0
+    device_index: int | None = None
+    shard_affinity: int = -1
+    ring_digest: str = ""
+    # Engine-specific handles: the live client session while ACTIVE, the
+    # suspended (ticket) state while SUSPENDED.
+    live: Any = None
+    parked: Any = None
+    # Payloads that arrived mid-handshake/mid-resume, flushed on ACTIVE.
+    backlog: list[Any] = field(default_factory=list)
+    in_flight: int = 0
+    suspend_timer: Any = None
+    # Lifecycle accounting for the bench gates.
+    full_handshakes: int = 0
+    resumes: int = 0
+    suspends: int = 0
+    stale_fallbacks: int = 0
+    submitted: int = 0
+
+    def transition(self, dst: str, at_us: float) -> None:
+        if dst not in _ALLOWED.get(self.state, frozenset()):
+            raise InvalidSessionTransition(self.routing_id, self.state, dst)
+        self.state = dst
+        self.last_activity_us = at_us
+
+    @property
+    def is_live(self) -> bool:
+        return self.state in LIVE_STATES
+
+
+__all__ = [
+    "AsyncSession",
+    "InvalidSessionTransition",
+    "LIVE_STATES",
+    "SessionState",
+]

@@ -1,0 +1,582 @@
+"""The async serving tier: C10K multiplexing over the gateway fleet.
+
+One :class:`AsyncServingTier` owns a reactor, a frontend (a single
+:class:`~repro.serving.gateway.Gateway` or a shard-aware
+:class:`~repro.serving.router.ShardSessionRouter`), and a *handshake
+engine* that knows how sessions are established, suspended into
+resumption tickets, and resumed:
+
+* :class:`ModelHandshakeEngine` — virtual-cost handshakes with *real*
+  sealed tickets (mint/redeem through the same
+  :class:`~repro.hypervisor.resumption.TicketSealer` codepath the
+  hypervisor uses, including epoch binding and single-use), no ECC.
+  This is what lets ``bench_c10k`` hold 10,000 concurrent sessions in
+  one process in CI time.
+* :class:`ServiceHandshakeEngine` — the full pipeline: per-tenant
+  :class:`~repro.core.user.PreExecutionClient` attestation+DHKE,
+  hypervisor-minted tickets, and SessionDirectory updates so
+  ReattachableBundle payloads re-resolve to the resumed session.
+
+Dispatch is cooperative and non-blocking: ``submit`` never waits.  An
+ACTIVE session dispatches straight onto the frontend; a HANDSHAKING or
+RESUMED session queues the payload on its backlog; a SUSPENDED session
+starts a one-round-trip ticket redemption.  A ticket the hypervisor
+refuses as :class:`~repro.hypervisor.resumption.StaleTicketError`
+(restart since mint) falls back to a full handshake — typed, counted,
+never retried as a transient fault.
+
+``run()`` merges the reactor's event heap with the frontend's
+completion heap in time order, mirroring the tie-breaking the
+synchronous gateway already uses (completions due at T run before an
+arrival at T).  With resumption disabled and pure payload factories, a
+seeded reactor-driven open-loop run is byte-identical to
+:func:`repro.serving.loadgen.run_open_loop` — the tier keeps its own
+metrics registry and adds no spans of its own, so the gateway's trace,
+metrics, wire bytes, and the world digest all hash equal (the
+``c10k-bench`` identity gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.kdf import Drbg, hkdf_sha256
+from repro.hardware.timing import CostModel
+from repro.hypervisor.resumption import StaleTicketError, TicketSealer, TicketState
+from repro.serving.gateway import Gateway, GatewayRequest, RequestStatus
+from repro.serving.loadgen import LoadReport, LoadSession, arrival_times
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.router import ShardSessionRouter
+from repro.async_serving.reactor import VirtualReactor
+from repro.async_serving.session import AsyncSession, SessionState
+
+
+class SessionCapacityError(Exception):
+    """Non-blocking admission refusal: the tier is at its session cap."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"serving tier at capacity ({limit} live sessions)")
+        self.limit = limit
+
+
+class SessionClosedError(Exception):
+    """A payload arrived for a session that already closed."""
+
+
+# ----------------------------------------------------------------------
+# Handshake engines
+# ----------------------------------------------------------------------
+
+class ModelHandshakeEngine:
+    """Virtual-time handshakes, real sealed tickets.
+
+    Establishment and resumption charge the paper's costs (attestation
+    45 ms + DHKE 55 ms full; ``ticket_resume_us`` resumed) as reactor
+    delays; the tickets themselves go through the real
+    :class:`TicketSealer` — epoch-bound AAD, single-use, typed stale
+    refusal — so the C10K run exercises the actual refusal paths.
+    ``advance_epoch()`` models a hypervisor restart: every outstanding
+    ticket goes stale at once.
+    """
+
+    def __init__(self, cost: CostModel | None = None, seed: int = 1) -> None:
+        self.cost = cost or CostModel()
+        self.epoch = 0
+        self._sealer = TicketSealer(
+            hkdf_sha256(seed.to_bytes(8, "big"), info=b"c10k-model-ticket")
+        )
+        self._rng = Drbg(seed.to_bytes(8, "big"),
+                         personalization=b"c10k-handshake")
+
+    @property
+    def full_handshake_us(self) -> float:
+        return self.cost.attestation_us + self.cost.dhke_us
+
+    @property
+    def resume_us(self) -> float:
+        return self.cost.ticket_resume_us
+
+    def open(self, session: AsyncSession) -> None:
+        session.live = session.routing_id
+
+    def suspend(self, session: AsyncSession) -> None:
+        state = TicketState(
+            session_id=session.routing_id,
+            user_public=b"",
+            hv_signing_secret=b"",
+            resumption_secret=self._rng.random_bytes(32),
+            send_watermark=0,
+            recv_watermark=0,
+            shard_affinity=session.shard_affinity,
+            ring_digest=session.ring_digest,
+        )
+        session.parked = self._sealer.mint(state, epoch=self.epoch)
+        session.live = None
+
+    def resume(self, session: AsyncSession) -> None:
+        state = self._sealer.redeem(session.parked, current_epoch=self.epoch)
+        session.parked = None
+        session.live = state
+
+    def close(self, session: AsyncSession) -> None:
+        session.live = None
+        session.parked = None
+
+    def advance_epoch(self) -> None:
+        """Model a hypervisor restart: outstanding tickets go stale."""
+        self.epoch += 1
+
+
+@dataclass
+class ServiceTenant:
+    """One real tenant: its client, session directory, and home device."""
+
+    client: Any                 # PreExecutionClient
+    directory: Any              # repro.recovery.supervisor.SessionDirectory
+    device_index: int = 0
+
+
+class ServiceHandshakeEngine:
+    """The full-pipeline engine for integration runs.
+
+    ``open`` performs real attestation+DHKE; ``suspend``/``resume`` go
+    through the hypervisor's ticket mint/redeem.  Every establishment
+    and resumption updates the tenant's SessionDirectory, so
+    ReattachableBundle payloads follow the session across suspensions
+    and hypervisor restarts alike.
+    """
+
+    def __init__(self, service: Any,
+                 tenants: dict[bytes, ServiceTenant]) -> None:
+        self.service = service
+        self.tenants = tenants
+        cost = service.devices[0].hypervisor.cost
+        self.full_handshake_us = cost.attestation_us + cost.dhke_us
+        self.resume_us = cost.ticket_resume_us
+
+    def _tenant(self, session: AsyncSession) -> ServiceTenant:
+        return self.tenants[session.routing_id]
+
+    def open(self, session: AsyncSession) -> None:
+        tenant = self._tenant(session)
+        device = self.service.devices[tenant.device_index]
+        session.live = tenant.client.connect(self.service, device)
+        session.device_index = tenant.device_index
+        tenant.directory.set(tenant.device_index, session.live)
+
+    def suspend(self, session: AsyncSession) -> None:
+        tenant = self._tenant(session)
+        session.parked = tenant.client.suspend(
+            session.live,
+            shard_affinity=session.shard_affinity,
+            ring_digest=session.ring_digest,
+        )
+        session.live = None
+
+    def resume(self, session: AsyncSession) -> None:
+        tenant = self._tenant(session)
+        session.live = tenant.client.resume(session.parked)
+        session.parked = None
+        tenant.directory.set(tenant.device_index, session.live)
+
+    def close(self, session: AsyncSession) -> None:
+        session.live = None
+        session.parked = None
+
+
+# ----------------------------------------------------------------------
+# The tier
+# ----------------------------------------------------------------------
+
+@dataclass
+class AsyncServingConfig:
+    """Admission and lifecycle policy for one tier."""
+
+    # Non-blocking admission: live sessions (any non-CLOSED state) above
+    # this raise a typed SessionCapacityError instead of queueing.
+    max_sessions: int = 16_384
+    # Idle eviction: an ACTIVE session with nothing queued or in flight
+    # for this long is suspended into a ticket.  ``None`` disables.
+    suspend_after_us: float | None = 2_000_000.0
+    # Master switch; False also disables idle eviction, which is what
+    # the identity gate runs with.
+    resumption: bool = True
+
+
+class AsyncServingTier:
+    """Event-driven multiplexer of AsyncSessions onto a gateway frontend."""
+
+    def __init__(
+        self,
+        reactor: VirtualReactor,
+        frontend: Gateway | ShardSessionRouter,
+        engine: Any,
+        config: AsyncServingConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.reactor = reactor
+        self.frontend = frontend
+        self.engine = engine
+        self.config = config or AsyncServingConfig()
+        # Deliberately a *separate* registry from the frontend's: tier
+        # bookkeeping must not perturb the gateway metrics the identity
+        # gate hashes.
+        self.metrics = metrics or MetricsRegistry()
+        self._router = frontend if isinstance(frontend, ShardSessionRouter) else None
+        self.sessions: dict[bytes, AsyncSession] = {}
+        self.live_sessions = 0
+        self.peak_live = 0
+        self.outcomes: list[GatewayRequest] = []
+
+    # -- admission ------------------------------------------------------
+
+    def _admit(self, routing_id: bytes,
+               device_index: int | None) -> AsyncSession:
+        existing = self.sessions.get(routing_id)
+        if existing is not None and existing.is_live:
+            raise ValueError(
+                f"session {routing_id.hex()[:16]} is already live"
+            )
+        if self.live_sessions >= self.config.max_sessions:
+            self.metrics.counter("tier.sessions_rejected").inc()
+            raise SessionCapacityError(self.config.max_sessions)
+        now = self.reactor.now_us
+        session = AsyncSession(
+            routing_id=routing_id,
+            opened_at_us=now,
+            last_activity_us=now,
+            device_index=device_index,
+        )
+        self._derive_affinity(session)
+        self.sessions[routing_id] = session
+        self.live_sessions += 1
+        self.peak_live = max(self.peak_live, self.live_sessions)
+        self.metrics.gauge("tier.live_sessions").set(self.live_sessions)
+        return session
+
+    def open_session(self, routing_id: bytes,
+                     device_index: int | None = None) -> AsyncSession:
+        """Admit and start the full handshake; returns HANDSHAKING."""
+        session = self._admit(routing_id, device_index)
+        self._begin_full_handshake(session)
+        return session
+
+    def adopt_session(self, routing_id: bytes,
+                      live: Any = None,
+                      device_index: int | None = None) -> AsyncSession:
+        """Admit an already-attested session directly as ACTIVE.
+
+        The identity gate uses this: the synchronous baseline also
+        establishes its sessions before driving load, so the reactor run
+        must not charge a handshake the baseline didn't.
+        """
+        session = self._admit(routing_id, device_index)
+        session.live = live
+        session.transition(SessionState.ACTIVE, self.reactor.now_us)
+        return session
+
+    def close_session(self, routing_id: bytes) -> None:
+        session = self.sessions[routing_id]
+        if session.state == SessionState.CLOSED:
+            return
+        self._cancel_suspend(session)
+        session.transition(SessionState.CLOSED, self.reactor.now_us)
+        if self.engine is not None:
+            self.engine.close(session)
+        self.live_sessions -= 1
+        self.metrics.gauge("tier.live_sessions").set(self.live_sessions)
+
+    def close_all(self) -> None:
+        for routing_id in list(self.sessions):
+            self.close_session(routing_id)
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, routing_id: bytes, payload: Any, *,
+               priority: int = 0, deadline_us: float | None = None) -> None:
+        """Non-blocking: dispatch, queue on the session, or start a resume."""
+        session = self.sessions.get(routing_id)
+        if session is None or session.state == SessionState.CLOSED:
+            raise SessionClosedError(
+                f"no live session {routing_id.hex()[:16]}"
+            )
+        session.submitted += 1
+        session.last_activity_us = self.reactor.now_us
+        self._cancel_suspend(session)
+        if session.state == SessionState.ACTIVE:
+            self._dispatch(session, payload, priority, deadline_us)
+        elif session.state == SessionState.SUSPENDED:
+            session.backlog.append((payload, priority, deadline_us))
+            self._begin_resume(session)
+        else:  # HANDSHAKING or RESUMED: a handshake is already in flight
+            session.backlog.append((payload, priority, deadline_us))
+
+    def _dispatch(self, session: AsyncSession, payload: Any,
+                  priority: int, deadline_us: float | None) -> None:
+        request = self.frontend.submit(
+            session.routing_id,
+            payload,
+            at_us=self.reactor.now_us,
+            priority=priority,
+            deadline_us=deadline_us,
+            device_index=session.device_index,
+        )
+        if request.status == RequestStatus.REJECTED:
+            self.outcomes.append(request)
+        else:
+            session.in_flight += 1
+
+    # -- handshakes -----------------------------------------------------
+
+    def _begin_full_handshake(self, session: AsyncSession) -> None:
+        self.engine.open(session)
+        session.full_handshakes += 1
+        self.reactor.call_later(
+            self.engine.full_handshake_us, self._finish_handshake,
+            session, "full",
+        )
+
+    def _begin_resume(self, session: AsyncSession) -> None:
+        try:
+            self.engine.resume(session)
+        except StaleTicketError:
+            # The hypervisor restarted since the mint.  Typed, counted,
+            # and resolved by a fresh full handshake — never retried as
+            # a transient fault (the sealed secrets are gone for good).
+            self.metrics.counter("tier.stale_tickets").inc()
+            session.stale_fallbacks += 1
+            session.transition(SessionState.HANDSHAKING, self.reactor.now_us)
+            self._begin_full_handshake(session)
+            return
+        session.transition(SessionState.RESUMED, self.reactor.now_us)
+        self._refresh_affinity(session)
+        session.resumes += 1
+        self.reactor.call_later(
+            self.engine.resume_us, self._finish_handshake, session, "resumed"
+        )
+
+    def _finish_handshake(self, session: AsyncSession, kind: str) -> None:
+        if session.state == SessionState.CLOSED:
+            return
+        session.transition(SessionState.ACTIVE, self.reactor.now_us)
+        if kind == "full":
+            self.metrics.counter("tier.full_handshakes").inc()
+            self.metrics.histogram("tier.handshake_full_us").observe(
+                self.engine.full_handshake_us
+            )
+        else:
+            self.metrics.counter("tier.resumed").inc()
+            self.metrics.histogram("tier.handshake_resumed_us").observe(
+                self.engine.resume_us
+            )
+        backlog, session.backlog = session.backlog, []
+        for payload, priority, deadline_us in backlog:
+            self._dispatch(session, payload, priority, deadline_us)
+        if not backlog:
+            self._arm_suspend(session, self.reactor.now_us)
+
+    # -- suspension -----------------------------------------------------
+
+    def _cancel_suspend(self, session: AsyncSession) -> None:
+        if session.suspend_timer is not None:
+            session.suspend_timer.cancel()
+            session.suspend_timer = None
+
+    def _arm_suspend(self, session: AsyncSession, base_us: float) -> None:
+        if not self.config.resumption or self.config.suspend_after_us is None:
+            return
+        if session.state != SessionState.ACTIVE or session.in_flight:
+            return
+        self._cancel_suspend(session)
+        session.suspend_timer = self.reactor.call_at(
+            max(base_us, self.reactor.now_us) + self.config.suspend_after_us,
+            self._maybe_suspend, session,
+        )
+
+    def _maybe_suspend(self, session: AsyncSession) -> None:
+        session.suspend_timer = None
+        if (session.state != SessionState.ACTIVE or session.in_flight
+                or session.backlog):
+            return
+        self.engine.suspend(session)
+        session.transition(SessionState.SUSPENDED, self.reactor.now_us)
+        session.suspends += 1
+        self.metrics.counter("tier.suspended").inc()
+
+    # -- shard affinity -------------------------------------------------
+
+    def _derive_affinity(self, session: AsyncSession) -> None:
+        if self._router is None:
+            return
+        session.shard_affinity = self._router.shard_for_session(
+            session.routing_id
+        )
+        session.ring_digest = self._router.ring.table_digest()
+
+    def _refresh_affinity(self, session: AsyncSession) -> None:
+        """On resume: keep the sticky pin unless the ring changed."""
+        if self._router is None:
+            return
+        current = self._router.ring.table_digest()
+        if session.ring_digest != current:
+            session.shard_affinity = self._router.shard_for_session(
+                session.routing_id
+            )
+            session.ring_digest = current
+            self.metrics.counter("tier.affinity_rederived").inc()
+
+    def rebind_frontend(self, frontend: Gateway | ShardSessionRouter) -> None:
+        """Swap the frontend (topology change).  Callers drain first:
+        in-flight requests on the old frontend are not migrated."""
+        self.frontend = frontend
+        self._router = (
+            frontend if isinstance(frontend, ShardSessionRouter) else None
+        )
+
+    # -- the merged event loop -----------------------------------------
+
+    def run(self) -> None:
+        """Drive reactor events and frontend completions to quiescence.
+
+        Two event sources, one time order: completions due at or before
+        the next reactor event are absorbed first (matching the
+        synchronous gateway, whose ``submit(at_us=T)`` runs every event
+        with ``finish <= T`` before enqueuing the arrival).
+        """
+        while True:
+            next_event = self.reactor.peek_next_us()
+            next_done = self.frontend.next_completion_us()
+            if next_done is not None and (
+                next_event is None or next_done <= next_event
+            ):
+                self._absorb(self.frontend.advance_until(next_done))
+            elif next_event is not None:
+                self.reactor.run_until(next_event)
+            else:
+                break
+        self._absorb(self.frontend.drain())
+
+    def _absorb(self, terminal: list[GatewayRequest]) -> None:
+        for request in terminal:
+            self.outcomes.append(request)
+            session = self.sessions.get(request.session_id)
+            if session is None:
+                continue
+            session.in_flight -= 1
+            finished = request.finished_at_us
+            if finished is not None:
+                session.last_activity_us = max(
+                    session.last_activity_us, finished
+                )
+            if (session.state == SessionState.ACTIVE
+                    and not session.in_flight and not session.backlog):
+                self._arm_suspend(session, session.last_activity_us)
+
+    # -- reporting ------------------------------------------------------
+
+    def load_report(self, start_us: float) -> LoadReport:
+        """The same shape ``run_open_loop`` returns, from tier outcomes."""
+        metrics = (
+            self.frontend.metrics.snapshot()
+            if isinstance(self.frontend, Gateway)
+            else self._merged_frontend_metrics()
+        )
+        rejected: dict[str, int] = {}
+        failed_by_reason: dict[str, int] = {}
+        completed = expired = failed = 0
+        for request in self.outcomes:
+            if request.status == RequestStatus.COMPLETED:
+                completed += 1
+            elif request.status == RequestStatus.EXPIRED:
+                expired += 1
+            elif request.status == RequestStatus.FAILED:
+                failed += 1
+                reason = request.failure.cause_type
+                failed_by_reason[reason] = failed_by_reason.get(reason, 0) + 1
+            elif request.status == RequestStatus.REJECTED:
+                rejected[request.reject_reason] = (
+                    rejected.get(request.reject_reason, 0) + 1
+                )
+        return LoadReport(
+            submitted=len(self.outcomes),
+            completed=completed,
+            expired=expired,
+            rejected_by_reason=rejected,
+            duration_us=self.frontend.now_us - start_us,
+            outcomes=list(self.outcomes),
+            metrics=metrics,
+            failed=failed,
+            failed_by_reason=failed_by_reason,
+        )
+
+    def _merged_frontend_metrics(self) -> dict[str, float]:
+        assert self._router is not None
+        if self._router.metrics is not None:
+            return self._router.metrics.snapshot()
+        merged: dict[str, float] = {}
+        for shard_id in self._router.shard_ids:
+            gateway = self._router.gateway_of_shard(shard_id)
+            for key, value in gateway.metrics.snapshot().items():
+                merged[f"shard{shard_id}.{key}"] = value
+        return merged
+
+
+# ----------------------------------------------------------------------
+# Open-loop driver (the reactor twin of loadgen.run_open_loop)
+# ----------------------------------------------------------------------
+
+def drive_open_loop(
+    tier: AsyncServingTier,
+    sessions: list[LoadSession],
+    *,
+    rate_rps: float,
+    total_requests: int,
+    seed: int = 1,
+    pattern: str = "poisson",
+    deadline_us: float | None = None,
+) -> LoadReport:
+    """Schedule the exact ``run_open_loop`` arrival sequence on the reactor.
+
+    Same DRBG personalization, same arrival draws, same round-robin and
+    per-session ordinals — so with resumption disabled, adopted (pre-
+    attested) sessions, and side-effect-free payload factories, the
+    frontend observes a byte-identical submission sequence and the
+    identity gate holds.  Payload factories are invoked inside the
+    arrival event (not at scheduling time), preserving creation order
+    relative to dispatches.
+    """
+    rng = Drbg(seed.to_bytes(8, "big"), personalization=b"loadgen-open")
+    start_us = tier.frontend.now_us
+
+    def arrive(session: LoadSession, ordinal: int) -> None:
+        tier.submit(
+            session.session_id,
+            session.make_payload(ordinal),
+            priority=session.priority,
+            deadline_us=deadline_us,
+        )
+
+    ordinals = [0] * len(sessions)
+    for index, at_us in enumerate(
+        arrival_times(rate_rps, total_requests, rng, pattern)
+    ):
+        session = sessions[index % len(sessions)]
+        tier.reactor.call_at(
+            start_us + at_us, arrive, session, ordinals[index % len(sessions)]
+        )
+        ordinals[index % len(sessions)] += 1
+    tier.run()
+    return tier.load_report(start_us)
+
+
+__all__ = [
+    "AsyncServingConfig",
+    "AsyncServingTier",
+    "ModelHandshakeEngine",
+    "ServiceHandshakeEngine",
+    "ServiceTenant",
+    "SessionCapacityError",
+    "SessionClosedError",
+    "drive_open_loop",
+]

@@ -13,6 +13,7 @@
     python -m repro.cli perf-bench          # crypto/ORAM before/after speedup
     python -m repro.cli recovery-bench      # crash recovery + rollback gates
     python -m repro.cli shard-bench         # sharded-fleet scale-out gates
+    python -m repro.cli c10k-bench          # 10k-session async tier + resumption gates
 
 ``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
 sweep rows across processes (deterministic: results are reduced in
@@ -453,6 +454,33 @@ def cmd_shard_bench(args) -> int:
     return 0
 
 
+def cmd_c10k_bench(args) -> int:
+    from repro.async_serving.bench import C10kBenchConfig, run_c10k_bench
+
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if args.smoke:
+        config = C10kBenchConfig.smoke(seed=args.seed)
+    else:
+        config = C10kBenchConfig(seed=args.seed)
+    if args.sessions:
+        config.concurrency_target = args.sessions
+    report = run_c10k_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.passed:
+        print("C10K-BENCH FAILED: "
+              + "; ".join(report.gate_failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -592,6 +620,21 @@ def build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--json-out", default="",
                              help="write the BENCH_shard.json report here")
     shard_bench.set_defaults(func=cmd_shard_bench)
+
+    c10k_bench = sub.add_parser(
+        "c10k-bench",
+        help="async serving tier: 10k concurrent sessions, resumption "
+             "cost + identity gates (repro.async_serving)",
+    )
+    c10k_bench.add_argument("--seed", type=int, default=1)
+    c10k_bench.add_argument("--smoke", action="store_true",
+                            help="CI-sized run (the 10k concurrency gate "
+                                 "stays; side scenarios shrink)")
+    c10k_bench.add_argument("--sessions", type=int, default=0,
+                            help="override the concurrency target")
+    c10k_bench.add_argument("--json-out", default="",
+                            help="write the BENCH_c10k.json report here")
+    c10k_bench.set_defaults(func=cmd_c10k_bench)
     return parser
 
 

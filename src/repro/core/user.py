@@ -34,6 +34,32 @@ class UserSession:
     device: HarDTAPEDevice
     session_id: bytes
     channel: SecureChannel
+    # Retained for suspend/resume: the user's session signing key and
+    # the hypervisor's attested session verify key, so a resumed channel
+    # re-binds the same identities without re-attesting.
+    signing_key: PrivateKey | None = None
+    peer_public: PublicKey | None = None
+
+
+@dataclass
+class SuspendedSession:
+    """Client-held resumption state for a session the hypervisor evicted.
+
+    The ticket is opaque (sealed under the device's PUF-bound key); the
+    resumption secret arrived over the old secure channel.  Presenting
+    the ticket plus a fresh nonce re-keys in one round-trip — no
+    attestation report, no DHKE.
+    """
+
+    device: HarDTAPEDevice
+    session_id: bytes           # the suspended (pre-resume) session id
+    ticket: bytes
+    resumption_secret: bytes
+    signing_key: PrivateKey
+    peer_public: PublicKey
+    send_watermark: int         # user-side channel counters at suspend
+    recv_watermark: int
+    shard_affinity: int = -1
 
 
 class PreExecutionClient:
@@ -101,7 +127,93 @@ class PreExecutionClient:
             peer_verify_key=report.session_public,
             sign_messages=device.hypervisor.features.signatures,
         )
-        return UserSession(device=device, session_id=session_id, channel=channel)
+        return UserSession(
+            device=device,
+            session_id=session_id,
+            channel=channel,
+            signing_key=user_session_key,
+            peer_public=report.session_public,
+        )
+
+    # ------------------------------------------------------------------
+    # Session resumption (repro.async_serving)
+    # ------------------------------------------------------------------
+
+    def suspend(
+        self,
+        session: UserSession,
+        *,
+        shard_affinity: int = -1,
+        ring_digest: str = "",
+    ) -> SuspendedSession:
+        """Park a session: the hypervisor seals it into a ticket and
+        evicts it; the client keeps the ticket and resumption secret."""
+        if session.signing_key is None or session.peer_public is None:
+            raise ValueError("session predates resumption support")
+        hypervisor = session.device.hypervisor
+        ticket, sealed_secret = hypervisor.mint_resumption_ticket(
+            session.session_id,
+            shard_affinity=shard_affinity,
+            ring_digest=ring_digest,
+        )
+        if hypervisor.features.encryption:
+            secret = session.channel.open(sealed_secret)
+        else:
+            secret = bytes(sealed_secret)
+        sent, received = session.channel.nonce_watermark
+        return SuspendedSession(
+            device=session.device,
+            session_id=session.session_id,
+            ticket=ticket,
+            resumption_secret=secret,
+            signing_key=session.signing_key,
+            peer_public=session.peer_public,
+            send_watermark=sent,
+            recv_watermark=received,
+            shard_affinity=shard_affinity,
+        )
+
+    def resume(
+        self,
+        suspended: SuspendedSession,
+        device: HarDTAPEDevice | None = None,
+    ) -> UserSession:
+        """Redeem a ticket for a live session in one round-trip.
+
+        Must target the device that minted the ticket (the sealing key
+        is PUF-bound).  Raises
+        :class:`~repro.hypervisor.resumption.StaleTicketError` if the
+        hypervisor restarted since the mint — reconnect with
+        :meth:`connect` instead.
+        """
+        from repro.crypto.kdf import hkdf_sha256
+
+        device = device or suspended.device
+        if device is not suspended.device:
+            raise ValueError("resumption tickets are bound to their device")
+        nonce = self._fresh_key().secret.to_bytes(32, "big")
+        session_id = device.hypervisor.resume_session(suspended.ticket, nonce)
+        aes_key = hkdf_sha256(
+            suspended.resumption_secret,
+            salt=b"hardtape-resume",
+            info=nonce + suspended.session_id,
+        )
+        channel = SecureChannel(
+            aes_key,
+            own_signing_key=suspended.signing_key,
+            peer_verify_key=suspended.peer_public,
+            sign_messages=device.hypervisor.features.signatures,
+        )
+        channel.restore_nonce_watermark(
+            suspended.send_watermark, suspended.recv_watermark
+        )
+        return UserSession(
+            device=device,
+            session_id=session_id,
+            channel=channel,
+            signing_key=suspended.signing_key,
+            peer_public=suspended.peer_public,
+        )
 
     def pre_execute(
         self,

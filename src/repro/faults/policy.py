@@ -43,7 +43,11 @@ from repro.telemetry.tracer import tracer_for
 
 # The transient, retry-safe failures.  Deliberate-tamper signals that
 # retrying cannot fix (SyncError from a forged proof chain,
-# AttestationError, UnknownSessionError) are intentionally absent.
+# AttestationError, UnknownSessionError) are intentionally absent — as
+# is the resumption plane's StaleTicketError: a ticket minted before a
+# hypervisor restart names secrets that were scrubbed for good, so the
+# only correct reaction is a fresh full handshake, never a retry
+# (gated in bench_c10k and tests/integration/test_async_resumption.py).
 RECOVERABLE_ERRORS: tuple[type[Exception], ...] = (
     ChannelError,          # corrupted/duplicated DMA message (tag/sig/replay)
     DmaDropError,          # DMA message lost in transit

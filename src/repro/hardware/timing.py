@@ -82,6 +82,16 @@ class CostModel:
     # Applying one sealed journal record during replay.
     journal_replay_record_us: float = 3.0
 
+    # --- Async serving plane (repro.async_serving) ------------------------
+    # Sealing one resumption ticket at suspension: HKDF + one AEAD over
+    # ~200 B of session state on the A53.
+    ticket_mint_us: float = 150.0
+    # Redeeming a ticket on reconnect: unseal, HKDF re-key, channel
+    # rebuild — the one-round-trip replacement for attestation (45 ms)
+    # + DHKE (55 ms), which is why p99 resumed handshake cost gates at
+    # ~0 relative to the full handshake.
+    ticket_resume_us: float = 900.0
+
     # --- A.E.DMA (AES-GCM hardware) --------------------------------------
     aes_gcm_us_per_kb: float = 9.0
     aes_gcm_setup_us: float = 1.0

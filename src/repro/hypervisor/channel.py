@@ -69,6 +69,27 @@ class SecureChannel:
         self._highest_received = 0
         self.stats = ChannelStats()
 
+    @property
+    def nonce_watermark(self) -> tuple[int, int]:
+        """``(sent, highest received)`` counters — sealed into resumption
+        tickets so a resumed channel cannot be replayed into the window
+        the suspended one already consumed."""
+        return self._send_counter, self._highest_received
+
+    def restore_nonce_watermark(self, sent: int, received: int) -> None:
+        """Continue a suspended channel's counter space after resumption.
+
+        The resumed channel uses a *fresh* AEAD key (derived from the
+        ticket's resumption secret and a fresh client nonce), so nonce
+        reuse against the old key is impossible either way; restoring
+        the watermark additionally preserves the strictly-increasing
+        replay contract across the suspend/resume boundary.
+        """
+        if sent < 0 or received < 0:
+            raise ValueError("nonce watermarks cannot be negative")
+        self._send_counter = sent
+        self._highest_received = received
+
     def seal(self, plaintext: bytes, aad: bytes = b"") -> SealedMessage:
         """Encrypt (and sign) an outgoing message."""
         self._send_counter += 1

@@ -32,6 +32,7 @@ from repro.hypervisor.bundle_codec import (
     trace_from_result,
 )
 from repro.hypervisor.channel import SealedMessage, SecureChannel
+from repro.hypervisor.resumption import TicketSealer, TicketState
 from repro.hypervisor.scheduler import HevmScheduler
 from repro.hypervisor.sync import BlockSynchronizer
 from repro.oram.adapter import ObliviousStateBackend
@@ -115,6 +116,14 @@ class Session:
     user_public: PublicKey
     established_at_us: float
     bundles_run: int = 0
+    # The hypervisor-side session signing key, retained so the session
+    # can be sealed into a resumption ticket (the resumed channel signs
+    # under the same attested identity).  ``None`` only for sessions
+    # restored from pre-resumption checkpoints.
+    signing_key: PrivateKey | None = None
+    # Set on sessions created via ticket redemption: the session id this
+    # one resumed from (telemetry and directory re-join use it).
+    resumed_from: bytes | None = None
 
 
 @dataclass
@@ -123,6 +132,9 @@ class HypervisorStats:
     bundles_executed: int = 0
     transactions_executed: int = 0
     crypto_time_us: float = 0.0
+    tickets_minted: int = 0
+    sessions_suspended: int = 0
+    sessions_resumed: int = 0
 
 
 class Hypervisor:
@@ -171,6 +183,12 @@ class Hypervisor:
         )
         self._rng: Drbg = csu.secure_rng(rng_label)
         self._sessions: dict[bytes, Session] = {}
+        # Resumption-ticket sealer (repro.async_serving): built lazily so
+        # deployments that never suspend a session derive no extra key.
+        # The key is PUF-bound — a restarted hypervisor re-derives the
+        # *same* key, and the epoch (= generation) binding is what
+        # refuses pre-crash tickets.
+        self._ticket_sealer: TicketSealer | None = None
         self.stats = HypervisorStats()
         # Crash modelling (``repro.faults`` HYPERVISOR_CRASH): a crashed
         # instance refuses all work; the device builds a *new* instance
@@ -265,8 +283,137 @@ class Hypervisor:
             ),
             user_public=user_session_public,
             established_at_us=self.clock.now_us,
+            signing_key=session_key,
         )
         self.stats.sessions_established += 1
+        if self.recovery is not None:
+            self.recovery.on_session(self._sessions[session_id])
+        return session_id
+
+    # ------------------------------------------------------------------
+    # Session resumption (repro.async_serving): suspend to a sealed
+    # ticket, resume in one round-trip without re-attesting.
+    # ------------------------------------------------------------------
+
+    @property
+    def session_count(self) -> int:
+        """Live (non-suspended) sessions held in hypervisor memory."""
+        return len(self._sessions)
+
+    @property
+    def ticket_sealer(self) -> TicketSealer:
+        if self._ticket_sealer is None:
+            self._ticket_sealer = TicketSealer(
+                self._csu.derive_sealing_key(b"resumption-ticket")
+            )
+        return self._ticket_sealer
+
+    def mint_resumption_ticket(
+        self,
+        session_id: bytes,
+        *,
+        shard_affinity: int = -1,
+        ring_digest: str = "",
+        evict: bool = True,
+    ) -> tuple[bytes, SealedMessage | bytes]:
+        """Seal a session into a ticket; returns ``(ticket, sealed_secret)``.
+
+        The resumption secret travels to the user over the *existing*
+        secure channel (the last message it will ever carry); the ticket
+        itself is opaque to the user and bound to this generation as an
+        anti-rollback epoch.  With ``evict`` (the default) the session
+        leaves hypervisor memory — the C10K property: suspended users
+        cost the hypervisor zero bytes of volatile state.
+        """
+        self._require_alive()
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(session_id)
+        if session.signing_key is None:
+            raise ValueError(
+                f"session {session_id.hex()[:16]} predates resumption "
+                f"support; cannot mint a ticket"
+            )
+        secret = self._rng.random_bytes(32)
+        tracer_for(self.clock).record(
+            "session.ticket_mint", "session", self.cost.ticket_mint_us,
+            session=session_id.hex()[:16],
+        )
+        self.clock.advance_us(self.cost.ticket_mint_us)
+        if self.features.encryption:
+            sealed_secret: SealedMessage | bytes = session.channel.seal(secret)
+        else:
+            sealed_secret = secret
+        # Watermark captured *after* the secret hand-off so the resumed
+        # channel's counters sit above every message either side sent.
+        sent, received = session.channel.nonce_watermark
+        state = TicketState(
+            session_id=session_id,
+            user_public=session.user_public.to_bytes(),
+            hv_signing_secret=session.signing_key.secret.to_bytes(32, "big"),
+            resumption_secret=secret,
+            send_watermark=sent,
+            recv_watermark=received,
+            shard_affinity=shard_affinity,
+            ring_digest=ring_digest,
+            minted_at_us=self.clock.now_us,
+        )
+        ticket = self.ticket_sealer.mint(state, epoch=self.generation)
+        self.stats.tickets_minted += 1
+        if evict:
+            del self._sessions[session_id]
+            self.stats.sessions_suspended += 1
+        return ticket, sealed_secret
+
+    def resume_session(self, ticket: bytes, user_nonce: bytes) -> bytes:
+        """Redeem a ticket: re-key and re-register in one round-trip.
+
+        Raises :class:`~repro.hypervisor.resumption.StaleTicketError`
+        when the ticket names a pre-restart epoch — the caller must
+        fall back to a full handshake — and
+        :class:`~repro.hypervisor.resumption.TicketIntegrityError` /
+        :class:`~repro.hypervisor.resumption.TicketReplayError` on
+        tampering or reuse.  Both channel endpoints derive the fresh
+        AES key as ``HKDF(resumption_secret, salt="hardtape-resume",
+        info=user_nonce ‖ old_session_id)``, so a stolen ticket without
+        the channel-sealed secret opens nothing.
+        """
+        self._require_alive()
+        state = self.ticket_sealer.redeem(ticket, current_epoch=self.generation)
+        tracer_for(self.clock).record(
+            "session.resume", "session", self.cost.ticket_resume_us,
+            resumed_from=state.session_id.hex()[:16],
+        )
+        self.clock.advance_us(self.cost.ticket_resume_us)
+        session_id = hashlib.sha256(
+            b"hardtape-resume" + state.session_id + user_nonce
+        ).digest()[:16]
+        aes_key = hkdf_sha256(
+            state.resumption_secret,
+            salt=b"hardtape-resume",
+            info=user_nonce + state.session_id,
+        )
+        # Not PrivateKey.from_bytes: that maps arbitrary bytes into the
+        # scalar range, but this is an exact stored scalar round-trip.
+        signing_key = PrivateKey(int.from_bytes(state.hv_signing_secret, "big"))
+        user_public = PublicKey.from_bytes(state.user_public)
+        channel = SecureChannel(
+            aes_key,
+            own_signing_key=signing_key,
+            peer_verify_key=user_public,
+            sign_messages=self.features.signatures,
+        )
+        channel.restore_nonce_watermark(state.send_watermark,
+                                        state.recv_watermark)
+        self._sessions[session_id] = Session(
+            session_id=session_id,
+            channel=channel,
+            user_public=user_public,
+            established_at_us=self.clock.now_us,
+            signing_key=signing_key,
+            resumed_from=state.session_id,
+        )
+        self.stats.sessions_resumed += 1
         if self.recovery is not None:
             self.recovery.on_session(self._sessions[session_id])
         return session_id

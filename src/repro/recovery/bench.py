@@ -576,9 +576,16 @@ def run_recovery_bench(config: RecoveryBenchConfig) -> RecoveryBenchReport:
     )
 
 
+# Public aliases: other planes' identity gates (async_serving's
+# c10k-bench) hash the same artifacts a recovery run does.
+world_digest = _world_digest
+wire_hash = _wire_hash
+
 __all__ = [
     "CRASH_ERROR_TYPES",
     "RecoveryBenchConfig",
     "RecoveryBenchReport",
     "run_recovery_bench",
+    "wire_hash",
+    "world_digest",
 ]

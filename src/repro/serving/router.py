@@ -109,6 +109,17 @@ class ShardSessionRouter:
             terminal.extend(self._gateways[shard_id].drain())
         return terminal
 
+    def next_completion_us(self) -> float | None:
+        """Earliest in-flight completion across the fleet (event merging)."""
+        times = [
+            t for t in (
+                gateway.next_completion_us()
+                for gateway in self._gateways.values()
+            )
+            if t is not None
+        ]
+        return min(times) if times else None
+
     # -- fleet views ---------------------------------------------------
 
     @property

@@ -1,0 +1,269 @@
+"""Session resumption end to end: real hypervisor tickets, crash epochs,
+and SessionDirectory/ReattachableBundle re-join through the shard router.
+
+Covers the two resumption-specific acceptance criteria:
+
+* a ticket minted before a hypervisor crash is refused after restart
+  with a typed ``StaleTicketError`` (epoch mismatch) — never absorbed
+  by the fault plane as a retryable fault;
+* a resumed session keeps its shard affinity through the shard-aware
+  router, and the affinity is re-derived when the ring changes.
+"""
+
+import pytest
+
+from repro.core import (
+    HarDTAPEService,
+    PreExecutionClient,
+    SecurityFeatures,
+)
+from repro.faults.policy import RetryPolicy
+from repro.hardware.timing import CostModel
+from repro.hypervisor.bundle_codec import TransactionBundle, encode_bundle
+from repro.hypervisor.hypervisor import UnknownSessionError
+from repro.hypervisor.resumption import StaleTicketError
+from repro.recovery.supervisor import (
+    HypervisorSupervisor,
+    ReattachableBundle,
+    SessionDirectory,
+)
+from repro.serving import (
+    FleetModelExecutor,
+    Gateway,
+    GatewayConfig,
+    ShardSessionRouter,
+    synthetic_profiles,
+)
+from repro.async_serving import (
+    AsyncServingConfig,
+    AsyncServingTier,
+    ModelHandshakeEngine,
+    ServiceHandshakeEngine,
+    ServiceTenant,
+    SessionState,
+    VirtualReactor,
+)
+
+pytestmark = pytest.mark.serving
+
+COST = CostModel()
+
+
+@pytest.fixture(scope="module")
+def service(request):
+    evalset = request.getfixturevalue("tiny_evalset")
+    return HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level("full"),
+        charge_fees=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def evalset(request):
+    return request.getfixturevalue("tiny_evalset")
+
+
+def _client(service, seed=b"\x0a"):
+    return PreExecutionClient(
+        service.manufacturer.root_public_key, rng_seed=seed * 32
+    )
+
+
+# ---------------------------------------------------------------------
+# Suspend/resume through the real hypervisor
+# ---------------------------------------------------------------------
+
+def test_suspend_evicts_and_resume_restores(service, evalset):
+    client = _client(service)
+    session = client.connect(service)
+    device = session.device
+    tx = evalset.transactions[0]
+    client.pre_execute(service, session, [tx])
+
+    before = device.hypervisor.session_count
+    suspended = client.suspend(session)
+    # Eviction is the point: the hypervisor holds nothing for the
+    # session; the client holds the opaque ticket.
+    assert device.hypervisor.session_count == before - 1
+
+    resumed = client.resume(suspended)
+    assert resumed.session_id != session.session_id
+    report, _, _ = client.pre_execute(service, resumed, [tx])
+    assert report.traces[0].status == 1
+
+    # The evicted pre-suspend session id is gone for good.
+    with pytest.raises(UnknownSessionError):
+        client.pre_execute(service, session, [tx])
+
+
+def test_resume_costs_under_five_percent_of_connect(service):
+    client = _client(service, seed=b"\x0b")
+    clock = service.clock
+
+    t0 = clock.now_us
+    session = client.connect(service)
+    connect_us = clock.now_us - t0
+
+    suspended = client.suspend(session)
+    t1 = clock.now_us
+    client.resume(suspended)
+    resume_us = clock.now_us - t1
+
+    assert connect_us >= COST.attestation_us + COST.dhke_us
+    assert resume_us <= 0.05 * connect_us
+
+
+def test_ticket_is_single_use(service):
+    client = _client(service, seed=b"\x0c")
+    suspended = client.suspend(client.connect(service))
+    client.resume(suspended)
+    with pytest.raises(Exception) as excinfo:
+        client.resume(suspended)
+    assert "already redeemed" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------
+# Crash epoch binding (satellite: stale tickets are typed, not retried)
+# ---------------------------------------------------------------------
+
+def test_pre_crash_ticket_refused_typed_after_restart(evalset):
+    # A dedicated service: restarting its hypervisor must not disturb
+    # the module-scoped fixture other tests share.
+    service = HarDTAPEService(
+        evalset.node, SecurityFeatures.from_level("ES"), charge_fees=False
+    )
+    client = _client(service)
+    suspended = client.suspend(client.connect(service))
+    device = service.devices[0]
+    assert device.hypervisor.generation == 0
+
+    device.restart_hypervisor(None)
+    assert device.hypervisor.generation == 1
+
+    with pytest.raises(StaleTicketError) as excinfo:
+        client.resume(suspended)
+    error = excinfo.value
+    assert error.minted_epoch == 0
+    assert error.current_epoch == 1
+
+    # The fault plane must refuse to absorb it: not retryable, and the
+    # supervisor seam performs no intervention for it.
+    assert RetryPolicy().is_recoverable(error) is False
+    assert HypervisorSupervisor(None, None, None).intervene(error, 0) is False
+
+    # The prescribed fallback — a fresh full handshake — still works.
+    session = client.connect(service, device)
+    assert device.hypervisor.session_count == 1
+    assert session.session_id
+
+
+# ---------------------------------------------------------------------
+# Shard affinity across suspend/resume (satellite: router re-join)
+# ---------------------------------------------------------------------
+
+def _model_router(shards):
+    gateways = {
+        shard: Gateway(FleetModelExecutor(2, COST), GatewayConfig())
+        for shard in range(shards)
+    }
+    return ShardSessionRouter(gateways)
+
+
+def test_resumed_session_keeps_shard_affinity():
+    router = _model_router(4)
+    tier = AsyncServingTier(
+        VirtualReactor(), router, ModelHandshakeEngine(COST, seed=3),
+        config=AsyncServingConfig(suspend_after_us=1000.0),
+    )
+    profiles = synthetic_profiles(COST, "mixed", count=4, seed=3)
+    session = tier.open_session(b"sticky-user")
+    pinned = session.shard_affinity
+    assert pinned == router.shard_for_session(b"sticky-user")
+
+    tier.submit(b"sticky-user", profiles[0])
+    tier.run()
+    assert session.state == SessionState.SUSPENDED
+
+    tier.submit(b"sticky-user", profiles[1])
+    tier.run()
+    # Same ring, same pin: the ticket carried the affinity through.
+    assert session.shard_affinity == pinned
+    assert "tier.affinity_rederived" not in tier.metrics.snapshot()
+
+
+def test_affinity_rederived_after_ring_change():
+    tier = AsyncServingTier(
+        VirtualReactor(), _model_router(2), ModelHandshakeEngine(COST, seed=3),
+        config=AsyncServingConfig(suspend_after_us=1000.0),
+    )
+    profiles = synthetic_profiles(COST, "mixed", count=4, seed=3)
+    session = tier.open_session(b"migrating-user")
+    tier.submit(b"migrating-user", profiles[0])
+    tier.run()
+    assert session.state == SessionState.SUSPENDED
+
+    # Topology change while suspended: a bigger ring with a different
+    # table digest.  The resume must re-derive, not trust the ticket.
+    bigger = _model_router(8)
+    tier.rebind_frontend(bigger)
+    tier.submit(b"migrating-user", profiles[1])
+    tier.run()
+    assert session.shard_affinity == bigger.shard_for_session(
+        b"migrating-user"
+    )
+    assert session.ring_digest == bigger.ring.table_digest()
+    assert tier.metrics.snapshot()["tier.affinity_rederived"] == 1
+
+
+# ---------------------------------------------------------------------
+# SessionDirectory / ReattachableBundle re-join (real pipeline)
+# ---------------------------------------------------------------------
+
+def test_reattachable_bundle_follows_resumed_session(service, evalset):
+    client = _client(service, seed=b"\x0d")
+    directory = SessionDirectory()
+    tenants = {b"tenant-0": ServiceTenant(client, directory, device_index=0)}
+    engine = ServiceHandshakeEngine(service, tenants)
+    tier = AsyncServingTier(
+        VirtualReactor(start_us=service.clock.now_us),
+        Gateway(FleetModelExecutor(2, COST), GatewayConfig()),
+        engine,
+        config=AsyncServingConfig(suspend_after_us=1000.0),
+    )
+
+    device = service.devices[0]
+    before = device.hypervisor.session_count
+    session = tier.open_session(b"tenant-0")
+    assert device.hypervisor.session_count == before + 1
+    first_id = directory.get(0).session_id
+
+    bundle = TransactionBundle(
+        transactions=(evalset.transactions[0],),
+        block_number=service.synced_height,
+    )
+    payload = ReattachableBundle(directory, encode_bundle(bundle))
+
+    # Drain to quiescence: the handshake completes, the session idles
+    # past the suspend threshold, and the engine parks it via a real
+    # hypervisor ticket — the hypervisor evicts its side entirely.
+    tier.run()
+    assert session.state == SessionState.SUSPENDED
+    assert device.hypervisor.session_count == before
+
+    # Wake it: the engine resumes through the ticket and re-points the
+    # directory, so the bundle re-resolves to the *resumed* session.
+    # (Idle eviction is done proving itself — leave the resumed session
+    # live so the bundle can actually be submitted against it.)
+    tier.config.suspend_after_us = None
+    tier.submit(b"tenant-0", synthetic_profiles(COST, "mixed")[0])
+    tier.run()
+    assert session.state == SessionState.ACTIVE
+    resumed_id = directory.get(0).session_id
+    assert resumed_id != first_id
+    assert payload.session_for(0) == resumed_id
+
+    sealed_out, _, _, _ = service.submit_bundle(
+        device, payload.session_for(0), payload.seal_for(0)
+    )
+    assert payload.open_with(0, sealed_out)

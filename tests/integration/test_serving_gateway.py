@@ -3,6 +3,8 @@ and typed failure recovery (retry, failover, exhausted attempts)."""
 
 import pytest
 
+pytestmark = pytest.mark.serving
+
 from repro.core import (
     HarDTAPEService,
     NoIdleHevmError,

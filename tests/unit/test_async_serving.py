@@ -1,0 +1,272 @@
+"""The async serving plane: reactor, session state machine, tier."""
+
+import pytest
+
+from repro.hardware.timing import CostModel
+from repro.serving import (
+    FleetModelExecutor,
+    Gateway,
+    GatewayConfig,
+    ShardSessionRouter,
+    synthetic_profiles,
+)
+from repro.async_serving import (
+    AsyncServingConfig,
+    AsyncServingTier,
+    AsyncioReactorAdapter,
+    AsyncSession,
+    InvalidSessionTransition,
+    ModelHandshakeEngine,
+    SessionCapacityError,
+    SessionClosedError,
+    SessionState,
+    VirtualReactor,
+)
+
+pytestmark = pytest.mark.serving
+
+COST = CostModel()
+FULL_US = COST.attestation_us + COST.dhke_us
+
+
+# ---------------------------------------------------------------------
+# VirtualReactor
+# ---------------------------------------------------------------------
+
+def test_reactor_fires_in_time_then_scheduling_order():
+    reactor = VirtualReactor()
+    fired = []
+    reactor.call_at(20.0, fired.append, "late")
+    reactor.call_at(10.0, fired.append, "early-first")
+    reactor.call_at(10.0, fired.append, "early-second")
+    assert reactor.run_until_idle() == 3
+    assert fired == ["early-first", "early-second", "late"]
+    assert reactor.now_us == 20.0
+
+
+def test_reactor_run_until_lands_on_deadline():
+    reactor = VirtualReactor()
+    fired = []
+    reactor.call_at(5.0, fired.append, "a")
+    reactor.call_at(15.0, fired.append, "b")
+    assert reactor.run_until(10.0) == 1
+    assert fired == ["a"]
+    assert reactor.now_us == 10.0
+    assert reactor.pending == 1
+
+
+def test_reactor_rejects_scheduling_in_the_past():
+    reactor = VirtualReactor(start_us=100.0)
+    with pytest.raises(ValueError):
+        reactor.call_at(99.0, lambda: None)
+    with pytest.raises(ValueError):
+        reactor.call_later(-1.0, lambda: None)
+
+
+def test_reactor_cancel_is_idempotent_and_skipped():
+    reactor = VirtualReactor()
+    fired = []
+    handle = reactor.call_at(5.0, fired.append, "cancelled")
+    reactor.call_at(6.0, fired.append, "kept")
+    handle.cancel()
+    handle.cancel()
+    assert reactor.pending == 1
+    assert reactor.run_until_idle() == 1
+    assert fired == ["kept"]
+
+
+def test_reactor_callbacks_can_schedule_same_instant():
+    reactor = VirtualReactor()
+    fired = []
+
+    def chain():
+        fired.append("first")
+        reactor.call_at(reactor.now_us, fired.append, "second")
+
+    reactor.call_at(3.0, chain)
+    reactor.run_until_idle()
+    assert fired == ["first", "second"]
+
+
+def test_asyncio_adapter_runs_and_cancels():
+    # A tiny time_scale compresses virtual microseconds to ~nothing of
+    # wall clock, keeping this test instant.
+    adapter = AsyncioReactorAdapter(time_scale=1e-9)
+    try:
+        fired = []
+        adapter.call_later(1000.0, fired.append, "ran")
+        cancelled = adapter.call_later(2000.0, fired.append, "never")
+        cancelled.cancel()
+        adapter.run_until_idle()
+        assert fired == ["ran"]
+        assert adapter.pending == 0
+    finally:
+        adapter.close()
+
+
+# ---------------------------------------------------------------------
+# Session state machine
+# ---------------------------------------------------------------------
+
+def test_session_lifecycle_walk():
+    session = AsyncSession(routing_id=b"s1", opened_at_us=0.0)
+    for dst in (SessionState.ACTIVE, SessionState.SUSPENDED,
+                SessionState.RESUMED, SessionState.ACTIVE,
+                SessionState.CLOSED):
+        session.transition(dst, 1.0)
+    assert session.state == SessionState.CLOSED
+    assert not session.is_live
+
+
+def test_stale_fallback_edge_is_legal():
+    session = AsyncSession(routing_id=b"s1", opened_at_us=0.0)
+    session.transition(SessionState.ACTIVE, 1.0)
+    session.transition(SessionState.SUSPENDED, 2.0)
+    session.transition(SessionState.HANDSHAKING, 3.0)  # stale-ticket path
+    session.transition(SessionState.ACTIVE, 4.0)
+    assert session.state == SessionState.ACTIVE
+
+
+def test_illegal_transition_is_typed():
+    session = AsyncSession(routing_id=b"s1", opened_at_us=0.0)
+    with pytest.raises(InvalidSessionTransition) as excinfo:
+        session.transition(SessionState.SUSPENDED, 1.0)
+    assert excinfo.value.src == SessionState.HANDSHAKING
+    assert excinfo.value.dst == SessionState.SUSPENDED
+    session.transition(SessionState.CLOSED, 1.0)
+    with pytest.raises(InvalidSessionTransition):
+        session.transition(SessionState.ACTIVE, 2.0)
+
+
+# ---------------------------------------------------------------------
+# Tier over a model gateway
+# ---------------------------------------------------------------------
+
+def _tier(max_sessions=64, suspend_after_us=1000.0, cores=4):
+    gateway = Gateway(
+        FleetModelExecutor(cores, COST),
+        GatewayConfig(max_queue_depth=256, max_in_flight_per_session=4),
+    )
+    tier = AsyncServingTier(
+        VirtualReactor(),
+        gateway,
+        ModelHandshakeEngine(COST, seed=7),
+        config=AsyncServingConfig(
+            max_sessions=max_sessions, suspend_after_us=suspend_after_us
+        ),
+    )
+    return tier, synthetic_profiles(COST, "mixed", count=4, seed=7)
+
+
+def test_tier_capacity_is_typed_and_counted():
+    tier, _ = _tier(max_sessions=2)
+    tier.open_session(b"a")
+    tier.open_session(b"b")
+    with pytest.raises(SessionCapacityError):
+        tier.open_session(b"c")
+    assert tier.metrics.snapshot()["tier.sessions_rejected"] == 1
+    with pytest.raises(ValueError):
+        tier.open_session(b"a")  # duplicate live session
+
+
+def test_tier_submit_to_unknown_session_is_typed():
+    tier, profiles = _tier()
+    with pytest.raises(SessionClosedError):
+        tier.submit(b"ghost", profiles[0])
+
+
+def test_tier_backlogs_during_handshake_then_flushes():
+    tier, profiles = _tier(suspend_after_us=None)
+    session = tier.open_session(b"a")
+    tier.submit(b"a", profiles[0])
+    tier.submit(b"a", profiles[1])
+    assert session.state == SessionState.HANDSHAKING
+    assert len(session.backlog) == 2
+    tier.run()
+    assert session.state == SessionState.ACTIVE
+    assert not session.backlog
+    report = tier.load_report(0.0)
+    assert report.completed == 2 and report.failed == 0
+    snap = tier.metrics.snapshot()
+    assert snap["tier.full_handshakes"] == 1
+    assert snap["tier.handshake_full_us.p50"] == FULL_US
+
+
+def test_tier_suspends_idle_sessions_and_resumes_on_traffic():
+    tier, profiles = _tier(suspend_after_us=1000.0)
+    session = tier.open_session(b"a")
+    tier.submit(b"a", profiles[0])
+    tier.run()
+    assert session.state == SessionState.SUSPENDED
+    assert session.parked is not None  # a real sealed ticket
+
+    tier.submit(b"a", profiles[1])    # wakes it: one-round-trip resume
+    assert session.state == SessionState.RESUMED
+    tier.run()
+    assert session.resumes == 1
+    snap = tier.metrics.snapshot()
+    assert snap["tier.resumed"] == 1
+    assert snap["tier.suspended"] >= 1
+    assert snap["tier.handshake_resumed_us.p50"] == COST.ticket_resume_us
+    assert COST.ticket_resume_us <= 0.05 * FULL_US
+    assert tier.load_report(0.0).completed == 2
+
+
+def test_tier_epoch_bump_falls_back_typed_not_retried():
+    tier, profiles = _tier(suspend_after_us=1000.0)
+    engine = tier.engine
+    session = tier.open_session(b"a")
+    tier.submit(b"a", profiles[0])
+    tier.run()
+    assert session.state == SessionState.SUSPENDED
+
+    engine.advance_epoch()            # model hypervisor restart
+    tier.submit(b"a", profiles[1])
+    # Stale ticket: back to HANDSHAKING, full handshake in flight.
+    assert session.state == SessionState.HANDSHAKING
+    assert session.stale_fallbacks == 1
+    tier.run()
+    snap = tier.metrics.snapshot()
+    assert snap["tier.stale_tickets"] == 1
+    # Never satisfied by the dead ticket: no resume was ever recorded.
+    assert snap.get("tier.resumed", 0) == 0
+    assert snap["tier.full_handshakes"] == 2
+    assert tier.load_report(0.0).completed == 2
+
+
+def test_tier_close_releases_capacity():
+    tier, _ = _tier(max_sessions=1)
+    tier.open_session(b"a")
+    tier.run()
+    tier.close_session(b"a")
+    assert tier.live_sessions == 0
+    tier.open_session(b"b")           # slot is free again
+    assert tier.live_sessions == 1
+
+
+def test_tier_seeded_run_is_deterministic():
+    def run_once():
+        tier, profiles = _tier(suspend_after_us=500.0)
+        for i in range(8):
+            rid = b"s%02d" % i
+            tier.reactor.call_at(i * 10.0, tier.open_session, rid)
+            tier.reactor.call_at(i * 10.0 + 2000.0, tier.submit, rid,
+                                 profiles[i % len(profiles)])
+        tier.run()
+        return tier.metrics.snapshot(), tier.load_report(0.0).completed
+
+    assert run_once() == run_once()
+
+
+def test_tier_derives_shard_affinity_from_router():
+    gateways = {
+        shard: Gateway(FleetModelExecutor(2, COST), GatewayConfig())
+        for shard in range(4)
+    }
+    router = ShardSessionRouter(gateways)
+    tier = AsyncServingTier(
+        VirtualReactor(), router, ModelHandshakeEngine(COST, seed=7),
+    )
+    session = tier.open_session(b"pinned")
+    assert session.shard_affinity == router.shard_for_session(b"pinned")
+    assert session.ring_digest == router.ring.table_digest()

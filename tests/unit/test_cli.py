@@ -82,6 +82,32 @@ def test_recovery_bench_smoke(capsys, tmp_path):
     assert parsed["identity"]["digest"] is True
 
 
+def test_c10k_bench_rejects_bad_seed(capsys):
+    assert main(["c10k-bench", "--seed", "-1"]) == 2
+    assert main(["c10k-bench", "--seed", str(2**64)]) == 2
+    assert "seed" in capsys.readouterr().err
+
+
+@pytest.mark.serving
+def test_c10k_bench_smoke_scaled_down(capsys, tmp_path):
+    # --sessions scales the concurrency scenario so the unit suite stays
+    # fast; the full 10k gate runs in bench_c10k / the CI c10k job.
+    out_path = tmp_path / "BENCH_c10k.json"
+    assert main([
+        "c10k-bench", "--smoke", "--sessions", "64",
+        "--json-out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "all gates passed" in out
+    import json
+
+    parsed = json.loads(out_path.read_text())
+    assert parsed["passed"] is True
+    assert parsed["identity"]["digest"] is True
+    assert parsed["c10k"]["peak_live"] >= 64
+    assert parsed["epoch"]["stale_refused"] == parsed["epoch"]["sessions"]
+
+
 def test_serve_bench_sweep_and_overload(capsys):
     assert main([
         "serve-bench", "--hevms", "2,4", "--requests", "5",

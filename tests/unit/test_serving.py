@@ -27,6 +27,8 @@ from repro.serving import (
     synthetic_profiles,
 )
 
+pytestmark = pytest.mark.serving
+
 
 class StubExecutor:
     """Fixed-duration executor: ``slots`` capacity, 100 µs per request."""

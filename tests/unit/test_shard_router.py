@@ -10,7 +10,7 @@ from repro.serving import (
     ShardSessionRouter,
 )
 
-pytestmark = pytest.mark.sharding
+pytestmark = [pytest.mark.sharding, pytest.mark.serving]
 
 
 class StubExecutor:
