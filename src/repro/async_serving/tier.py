@@ -48,6 +48,7 @@ from repro.serving.gateway import Gateway, GatewayRequest, RequestStatus
 from repro.serving.loadgen import LoadReport, LoadSession, arrival_times
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.router import ShardSessionRouter
+from repro.telemetry.tracer import tracer_for
 from repro.async_serving.reactor import VirtualReactor
 from repro.async_serving.session import AsyncSession, SessionState
 
@@ -214,6 +215,7 @@ class AsyncServingTier:
         engine: Any,
         config: AsyncServingConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        flight: Any = None,
     ) -> None:
         self.reactor = reactor
         self.frontend = frontend
@@ -223,11 +225,29 @@ class AsyncServingTier:
         # bookkeeping must not perturb the gateway metrics the identity
         # gate hashes.
         self.metrics = metrics or MetricsRegistry()
+        # Optional repro.telemetry.flight.FlightRecorder: lifecycle
+        # entries ring per session, typed failures seal dumps.
+        self.flight = flight
         self._router = frontend if isinstance(frontend, ShardSessionRouter) else None
         self.sessions: dict[bytes, AsyncSession] = {}
         self.live_sessions = 0
         self.peak_live = 0
         self.outcomes: list[GatewayRequest] = []
+        # Open handshake spans by routing id (ended in _finish_handshake).
+        self._handshake_spans: dict[bytes, Any] = {}
+
+    @property
+    def _tracer(self):
+        """The tier's own tracer, keyed off the *reactor* — a separate
+        clock domain from the service SimClock, so async-plane spans
+        can never land in (or perturb) the frontend's trace."""
+        return tracer_for(self.reactor)
+
+    def _note(self, session: AsyncSession, name: str, **data: object) -> None:
+        if self.flight is not None:
+            self.flight.note(
+                session.routing_id, "event", name, self.reactor.now_us, **data
+            )
 
     # -- admission ------------------------------------------------------
 
@@ -253,6 +273,13 @@ class AsyncServingTier:
         self.live_sessions += 1
         self.peak_live = max(self.peak_live, self.live_sessions)
         self.metrics.gauge("tier.live_sessions").set(self.live_sessions)
+        self._tracer.record(
+            "tier.admit", "async", 0.0,
+            session=routing_id.hex()[:16],
+            shard=session.shard_affinity,
+            live=self.live_sessions,
+        )
+        self._note(session, "tier.admit", shard=session.shard_affinity)
         return session
 
     def open_session(self, routing_id: bytes,
@@ -324,14 +351,32 @@ class AsyncServingTier:
         )
         if request.status == RequestStatus.REJECTED:
             self.outcomes.append(request)
+            self._note(
+                session, "tier.dispatch_rejected",
+                request_id=request.request_id,
+                reason=request.reject_reason,
+            )
         else:
             session.in_flight += 1
+            self._note(
+                session, "tier.dispatch", request_id=request.request_id
+            )
 
     # -- handshakes -----------------------------------------------------
 
     def _begin_full_handshake(self, session: AsyncSession) -> None:
         self.engine.open(session)
         session.full_handshakes += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            self._handshake_spans[session.routing_id] = tracer.start_span(
+                "tier.handshake", "async",
+                attributes={
+                    "session": session.routing_id.hex()[:16],
+                    "kind": "full",
+                },
+            )
+        self._note(session, "tier.handshake_begin", kind="full")
         self.reactor.call_later(
             self.engine.full_handshake_us, self._finish_handshake,
             session, "full",
@@ -340,24 +385,57 @@ class AsyncServingTier:
     def _begin_resume(self, session: AsyncSession) -> None:
         try:
             self.engine.resume(session)
-        except StaleTicketError:
+        except StaleTicketError as stale:
             # The hypervisor restarted since the mint.  Typed, counted,
             # and resolved by a fresh full handshake — never retried as
             # a transient fault (the sealed secrets are gone for good).
             self.metrics.counter("tier.stale_tickets").inc()
             session.stale_fallbacks += 1
+            self._tracer.record(
+                "tier.stale_fallback", "async", 0.0,
+                session=session.routing_id.hex()[:16],
+                minted_epoch=stale.minted_epoch,
+                current_epoch=stale.current_epoch,
+            )
+            if self.flight is not None:
+                self._note(
+                    session, "tier.stale_fallback",
+                    minted_epoch=stale.minted_epoch,
+                    current_epoch=stale.current_epoch,
+                )
+                self.flight.seal_if_triggered(
+                    session.routing_id,
+                    type(stale).__name__,
+                    str(stale),
+                    self.reactor.now_us,
+                )
             session.transition(SessionState.HANDSHAKING, self.reactor.now_us)
             self._begin_full_handshake(session)
             return
         session.transition(SessionState.RESUMED, self.reactor.now_us)
         self._refresh_affinity(session)
         session.resumes += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            self._handshake_spans[session.routing_id] = tracer.start_span(
+                "tier.handshake", "async",
+                attributes={
+                    "session": session.routing_id.hex()[:16],
+                    "kind": "resumed",
+                    "shard": session.shard_affinity,
+                },
+            )
+        self._note(session, "tier.handshake_begin", kind="resumed",
+                   shard=session.shard_affinity)
         self.reactor.call_later(
             self.engine.resume_us, self._finish_handshake, session, "resumed"
         )
 
     def _finish_handshake(self, session: AsyncSession, kind: str) -> None:
+        open_span = self._handshake_spans.pop(session.routing_id, None)
         if session.state == SessionState.CLOSED:
+            if open_span is not None:
+                self._tracer.end_span(open_span.set(outcome="closed"))
             return
         session.transition(SessionState.ACTIVE, self.reactor.now_us)
         if kind == "full":
@@ -371,6 +449,12 @@ class AsyncServingTier:
                 self.engine.resume_us
             )
         backlog, session.backlog = session.backlog, []
+        if open_span is not None:
+            self._tracer.end_span(
+                open_span.set(outcome="active", backlog=len(backlog))
+            )
+        self._note(session, "tier.handshake_done", kind=kind,
+                   backlog=len(backlog))
         for payload, priority, deadline_us in backlog:
             self._dispatch(session, payload, priority, deadline_us)
         if not backlog:
@@ -403,6 +487,13 @@ class AsyncServingTier:
         session.transition(SessionState.SUSPENDED, self.reactor.now_us)
         session.suspends += 1
         self.metrics.counter("tier.suspended").inc()
+        self._tracer.record(
+            "tier.suspend", "async", 0.0,
+            session=session.routing_id.hex()[:16],
+            shard=session.shard_affinity,
+            suspends=session.suspends,
+        )
+        self._note(session, "tier.suspend", shard=session.shard_affinity)
 
     # -- shard affinity -------------------------------------------------
 
@@ -460,6 +551,22 @@ class AsyncServingTier:
     def _absorb(self, terminal: list[GatewayRequest]) -> None:
         for request in terminal:
             self.outcomes.append(request)
+            if (self.flight is not None
+                    and request.status == RequestStatus.FAILED
+                    and request.failure is not None):
+                at = request.finished_at_us
+                self.flight.note(
+                    request.session_id, "event", "tier.request_failed",
+                    self.reactor.now_us if at is None else at,
+                    request_id=request.request_id,
+                    cause=request.failure.cause_type,
+                )
+                self.flight.seal_if_triggered(
+                    request.session_id,
+                    request.failure.cause_type,
+                    request.failure.message,
+                    self.reactor.now_us if at is None else at,
+                )
             session = self.sessions.get(request.session_id)
             if session is None:
                 continue

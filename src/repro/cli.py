@@ -14,6 +14,7 @@
     python -m repro.cli recovery-bench      # crash recovery + rollback gates
     python -m repro.cli shard-bench         # sharded-fleet scale-out gates
     python -m repro.cli c10k-bench          # 10k-session async tier + resumption gates
+    python -m repro.cli obs-bench           # observability: identity, reconciliation, alerts
 
 ``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
 sweep rows across processes (deterministic: results are reduced in
@@ -481,6 +482,31 @@ def cmd_c10k_bench(args) -> int:
     return 0
 
 
+def cmd_obs_bench(args) -> int:
+    from repro.telemetry.obs_bench import ObsBenchConfig, run_obs_bench
+
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if args.smoke:
+        config = ObsBenchConfig.smoke(seed=args.seed)
+    else:
+        config = ObsBenchConfig(seed=args.seed)
+    report = run_obs_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.passed:
+        print("OBS-BENCH FAILED: "
+              + "; ".join(report.gate_failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -635,6 +661,19 @@ def build_parser() -> argparse.ArgumentParser:
     c10k_bench.add_argument("--json-out", default="",
                             help="write the BENCH_c10k.json report here")
     c10k_bench.set_defaults(func=cmd_c10k_bench)
+
+    obs_bench = sub.add_parser(
+        "obs-bench",
+        help="observability plane: arming-is-invisible identity, three-way "
+             "trace reconciliation, deterministic fault alerts "
+             "(repro.telemetry)",
+    )
+    obs_bench.add_argument("--seed", type=int, default=1)
+    obs_bench.add_argument("--smoke", action="store_true",
+                           help="CI-sized run (same gates, faster)")
+    obs_bench.add_argument("--json-out", default="",
+                           help="write the BENCH_obs.json report here")
+    obs_bench.set_defaults(func=cmd_obs_bench)
     return parser
 
 

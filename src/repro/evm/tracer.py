@@ -150,6 +150,23 @@ class EventCounts:
     logs: int = 0
     max_memory_bytes: int = 0
 
+    def to_dict(self) -> dict:
+        """Canonical (sorted-group) form for reconciliation and export."""
+        return {
+            "instructions": self.instructions,
+            "by_group": dict(sorted(self.by_group.items())),
+            "storage_reads": self.storage_reads,
+            "storage_writes": self.storage_writes,
+            "cold_slots": self.cold_slots,
+            "cold_accounts": self.cold_accounts,
+            "account_accesses": self.account_accesses,
+            "frames": self.frames,
+            "code_bytes_fetched": self.code_bytes_fetched,
+            "code_fetches": self.code_fetches,
+            "logs": self.logs,
+            "max_memory_bytes": self.max_memory_bytes,
+        }
+
 
 class CountingTracer(Tracer):
     """O(1)-per-step tallies; no stack snapshots, no log storage."""

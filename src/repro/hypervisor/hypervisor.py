@@ -32,7 +32,7 @@ from repro.hypervisor.bundle_codec import (
     trace_from_result,
 )
 from repro.hypervisor.channel import SealedMessage, SecureChannel
-from repro.hypervisor.resumption import TicketSealer, TicketState
+from repro.hypervisor.resumption import TicketSealer, TicketState, ticket_header
 from repro.hypervisor.scheduler import HevmScheduler
 from repro.hypervisor.sync import BlockSynchronizer
 from repro.oram.adapter import ObliviousStateBackend
@@ -335,9 +335,14 @@ class Hypervisor:
                 f"support; cannot mint a ticket"
             )
         secret = self._rng.random_bytes(32)
-        tracer_for(self.clock).record(
+        # Session/tenant/shard metadata on the span makes suspended
+        # sessions distinguishable in the Chrome-trace timeline; the
+        # authenticated epoch/seq land after the mint below.
+        mint_span = tracer_for(self.clock).record(
             "session.ticket_mint", "session", self.cost.ticket_mint_us,
             session=session_id.hex()[:16],
+            tenant=session.user_public.to_bytes().hex()[:16],
+            shard=shard_affinity,
         )
         self.clock.advance_us(self.cost.ticket_mint_us)
         if self.features.encryption:
@@ -359,6 +364,8 @@ class Hypervisor:
             minted_at_us=self.clock.now_us,
         )
         ticket = self.ticket_sealer.mint(state, epoch=self.generation)
+        epoch, seq = ticket_header(ticket)
+        mint_span.set(epoch=epoch, seq=seq)
         self.stats.tickets_minted += 1
         if evict:
             del self._sessions[session_id]
@@ -380,9 +387,14 @@ class Hypervisor:
         """
         self._require_alive()
         state = self.ticket_sealer.redeem(ticket, current_epoch=self.generation)
+        epoch, seq = ticket_header(ticket)
         tracer_for(self.clock).record(
             "session.resume", "session", self.cost.ticket_resume_us,
             resumed_from=state.session_id.hex()[:16],
+            tenant=state.user_public.hex()[:16],
+            shard=state.shard_affinity,
+            epoch=epoch,
+            seq=seq,
         )
         self.clock.advance_us(self.cost.ticket_resume_us)
         session_id = hashlib.sha256(

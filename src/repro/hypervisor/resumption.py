@@ -222,4 +222,23 @@ __all__ = [
     "TicketSealer",
     "TicketState",
     "TICKET_MAGIC",
+    "ticket_header",
 ]
+
+
+def ticket_header(ticket: bytes) -> tuple[int, int]:
+    """Parse ``(epoch, seq)`` from a ticket's clear header.
+
+    The header is authenticated (it doubles as the AEAD AAD), so these
+    values are safe to surface in telemetry: a forged header fails
+    redemption.  Raises :class:`TicketIntegrityError` on truncation or
+    a bad magic — same refusals :meth:`TicketSealer.redeem` applies.
+    """
+    if len(ticket) < _HEADER.size:
+        raise TicketIntegrityError(
+            f"ticket too short for header ({len(ticket)} bytes)"
+        )
+    magic, epoch, seq = _HEADER.unpack_from(ticket)
+    if magic != TICKET_MAGIC:
+        raise TicketIntegrityError(f"bad ticket magic {magic!r}")
+    return epoch, seq

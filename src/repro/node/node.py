@@ -207,6 +207,19 @@ class EthereumNode:
         assert result is not None
         return logs, result
 
+    def unified_trace(self, block_number: int, tx_index: int):
+        """The committed :class:`~repro.telemetry.unified.UnifiedStepTrace`
+        of a past transaction — ``debug_trace_transaction`` lifted into
+        the canonical schema (same re-execution, stack capture off since
+        the schema commits to pc/op/group/gas/depth only).
+        """
+        from repro.telemetry.unified import from_struct_logs
+
+        logs, _ = self.debug_trace_transaction(
+            block_number, tx_index, capture_stack=False
+        )
+        return from_struct_logs(logs)
+
     def get_logs(
         self,
         from_block: int,

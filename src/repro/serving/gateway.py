@@ -215,12 +215,17 @@ class Gateway:
         admission: AdmissionPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        flight: Any = None,
     ) -> None:
         self.executor = executor
         self.config = config or GatewayConfig()
         self.admission = admission
         self.metrics = metrics or MetricsRegistry()
         self.tracer = NULL_TRACER if tracer is None else tracer
+        # Optional repro.telemetry.flight.FlightRecorder: typed failures
+        # seal the failing session's ring into a deterministic dump.
+        # Pure bookkeeping — no clock or metric effects when armed.
+        self.flight = flight
         self._now_us = 0.0
         self._sequence = 0
         # (priority, sequence, request): FIFO within a priority level.
@@ -407,6 +412,20 @@ class Gateway:
                 self.metrics.counter(
                     "gateway.failed", cause=request.failure.cause_type
                 ).inc()
+                if self.flight is not None:
+                    self.flight.note(
+                        request.session_id, "event", "gateway.failed",
+                        finish_us,
+                        request_id=request.request_id,
+                        cause=request.failure.cause_type,
+                        attempts=request.failure.attempts,
+                    )
+                    self.flight.seal_if_triggered(
+                        request.session_id,
+                        request.failure.cause_type,
+                        request.failure.message,
+                        finish_us,
+                    )
             else:
                 request.status = RequestStatus.COMPLETED
                 self.metrics.counter("gateway.completed").inc()

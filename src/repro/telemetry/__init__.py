@@ -6,8 +6,15 @@
   attribution over span trees (the §VI-C decomposition).
 - :mod:`repro.telemetry.exporters` — Chrome ``trace_event`` JSON and
   Prometheus-style text.
-- :mod:`repro.telemetry.bench` — the seeded trace-bench harness (import
-  it directly; it pulls in the serving stack).
+- :mod:`repro.telemetry.unified` — the canonical committed step-trace
+  schema reconciling node debug traces, HEVM event counts, and spans.
+- :mod:`repro.telemetry.flight` — per-session ring-buffer flight
+  recorder with sealed deterministic failure dumps.
+- :mod:`repro.telemetry.slo` — burn-rate SLO monitoring over metrics
+  snapshots in virtual time.
+- :mod:`repro.telemetry.bench` / :mod:`repro.telemetry.obs_bench` —
+  the seeded bench harnesses (import them directly; they pull in the
+  serving stack).
 """
 
 from repro.telemetry.critical_path import (
@@ -19,6 +26,13 @@ from repro.telemetry.critical_path import (
     request_roots,
 )
 from repro.telemetry.exporters import render_chrome_trace, render_prometheus
+from repro.telemetry.flight import (
+    SEAL_CAUSES,
+    FlightEntry,
+    FlightRecorder,
+    SealedDump,
+)
+from repro.telemetry.slo import SloAlert, SloMonitor, SloRule, default_slo_rules
 from repro.telemetry.tracer import (
     NULL_TRACER,
     Span,
@@ -29,4 +43,15 @@ from repro.telemetry.tracer import (
     install_tracer,
     tracer_for,
     uninstall_tracer,
+)
+from repro.telemetry.unified import (
+    StepTraceRecord,
+    TraceReconciliationError,
+    UnifiedStepTrace,
+    counts_from_events,
+    counts_from_span,
+    counts_from_trace,
+    from_struct_logs,
+    reconcile_counts,
+    reconcile_step_traces,
 )

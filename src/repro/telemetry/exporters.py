@@ -149,13 +149,24 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def render_prometheus(registry, layer_totals: dict[str, float] | None = None) -> str:
+def render_prometheus(
+    registry,
+    layer_totals: dict[str, float] | None = None,
+    planes: dict[str, object] | None = None,
+) -> str:
     """Prometheus text exposition subsuming ``registry.snapshot()``.
 
     Every snapshot quantity appears: counters as ``_total``, gauges with
     a ``_peak`` companion, histograms as summary quantiles plus
     ``_count``/``_sum``/``_max``/``_mean``.  Passing the critical-path
     ``layer_totals`` adds ``hardtape_trace_layer_exclusive_us`` series.
+
+    ``planes`` maps plane names to *additional* registries (e.g.
+    ``{"async": tier.metrics}``): their samples render after the main
+    registry's, each line carrying a ``plane="..."`` label, so the C10K
+    tier's deliberately separate registry becomes scrapeable without
+    touching a single byte of the frontend exposition (regression-
+    tested: ``planes=None`` output is byte-identical to before).
     """
     lines: list[str] = []
     seen_types: set[str] = set()
@@ -165,30 +176,53 @@ def render_prometheus(registry, layer_totals: dict[str, float] | None = None) ->
             seen_types.add(base)
             lines.append(f"# TYPE {base} {kind}")
 
-    for name, labels, counter in registry.iter_counters():
-        base = _metric_name(name, "_total")
-        header(base, "counter")
-        lines.append(f"{base}{_label_str(labels)} {_format_value(counter.value)}")
-    for name, labels, gauge in registry.iter_gauges():
-        base = _metric_name(name)
-        header(base, "gauge")
-        lines.append(f"{base}{_label_str(labels)} {_format_value(gauge.value)}")
-        peak = _metric_name(name, "_peak")
-        header(peak, "gauge")
-        lines.append(f"{peak}{_label_str(labels)} {_format_value(gauge.peak)}")
-    for name, labels, hist in registry.iter_histograms():
-        base = _metric_name(name)
-        header(base, "summary")
-        for quantile in ("0.5", "0.95", "0.99"):
-            percentile = hist.percentile(float(quantile) * 100)
-            labelled = _label_str(labels, (("quantile", quantile),))
-            lines.append(f"{base}{labelled} {_format_value(percentile)}")
-        lines.append(f"{base}_count{_label_str(labels)} {_format_value(hist.count)}")
-        lines.append(f"{base}_sum{_label_str(labels)} {_format_value(hist.total)}")
-        for suffix, value in (("_max", hist.max), ("_mean", hist.mean)):
-            gauge_name = _metric_name(name, suffix)
-            header(gauge_name, "gauge")
-            lines.append(f"{gauge_name}{_label_str(labels)} {_format_value(value)}")
+    def emit(source, extra: tuple[tuple[str, str], ...]) -> None:
+        for name, labels, counter in source.iter_counters():
+            base = _metric_name(name, "_total")
+            header(base, "counter")
+            lines.append(
+                f"{base}{_label_str(labels, extra)} "
+                f"{_format_value(counter.value)}"
+            )
+        for name, labels, gauge in source.iter_gauges():
+            base = _metric_name(name)
+            header(base, "gauge")
+            lines.append(
+                f"{base}{_label_str(labels, extra)} "
+                f"{_format_value(gauge.value)}"
+            )
+            peak = _metric_name(name, "_peak")
+            header(peak, "gauge")
+            lines.append(
+                f"{peak}{_label_str(labels, extra)} "
+                f"{_format_value(gauge.peak)}"
+            )
+        for name, labels, hist in source.iter_histograms():
+            base = _metric_name(name)
+            header(base, "summary")
+            for quantile in ("0.5", "0.95", "0.99"):
+                percentile = hist.percentile(float(quantile) * 100)
+                labelled = _label_str(labels, (("quantile", quantile),) + extra)
+                lines.append(f"{base}{labelled} {_format_value(percentile)}")
+            lines.append(
+                f"{base}_count{_label_str(labels, extra)} "
+                f"{_format_value(hist.count)}"
+            )
+            lines.append(
+                f"{base}_sum{_label_str(labels, extra)} "
+                f"{_format_value(hist.total)}"
+            )
+            for suffix, value in (("_max", hist.max), ("_mean", hist.mean)):
+                gauge_name = _metric_name(name, suffix)
+                header(gauge_name, "gauge")
+                lines.append(
+                    f"{gauge_name}{_label_str(labels, extra)} "
+                    f"{_format_value(value)}"
+                )
+
+    emit(registry, ())
+    for plane in sorted(planes or {}):
+        emit(planes[plane], (("plane", plane),))
     if layer_totals is not None:
         base = "hardtape_trace_layer_exclusive_us"
         header(base, "counter")

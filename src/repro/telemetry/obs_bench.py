@@ -1,0 +1,715 @@
+"""The observability benchmark (``obs-bench``): three seeded gates.
+
+1. **Identity** — the real-pipeline reactor-driven serving run from the
+   c10k identity scenario, executed twice: observability stack *off*
+   (no async tracer, no flight recorder, no SLO monitor) and *on* (all
+   three armed).  The frontend's Chrome trace, metrics snapshot,
+   Prometheus text, wire bytes, and world digest must be byte-identical
+   — the async plane's own tracer lives on the *reactor* clock domain,
+   the flight recorder is pure bookkeeping, and the monitor only reads
+   snapshots, so observing the system must not change it.
+2. **Reconciliation** — a mixed workload exercises all three trace
+   representations and reconciles them *exactly* through
+   :mod:`repro.telemetry.unified`:
+
+   * sync leg: transactions run on a full-security HEVM core
+     (path-ORAM world state) with struct tracing on; node ground truth
+     re-executes the same transactions with a StructTracer +
+     CountingTracer.  Steps, counts, and Merkle commitments must agree
+     three ways (node steps == HEVM steps == live ``hevm.tx`` span
+     counts).
+   * sharded leg: the same, with the HEVM reading through a
+     :class:`~repro.sharding.ShardedObliviousStateBackend` fleet.
+   * async leg: the identity gate's observability-on run doubles as a
+     live async workload; the aggregate instruction/group counts of
+     every ``hevm.tx`` span it emitted must equal the node's offline
+     totals for the exact transaction multiset the open-loop driver
+     submitted.
+3. **Alerts** — a model-tier C10K run with an epoch bump mid-flight
+   (every outstanding resumption ticket goes stale).  The armed flight
+   recorder must seal exactly one ``StaleTicketError`` dump per
+   outstanding ticket, the SLO monitor's ``stale-ticket-rate`` burn
+   alert must fire, and a second identically seeded run must reproduce
+   dump digests and the alert train byte-for-byte.  A zero-fault twin
+   must emit no dumps and no alerts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.device import DeviceConfig
+from repro.core.service import HarDTAPEService
+from repro.core.user import PreExecutionClient
+from repro.evm.executor import execute_transaction
+from repro.evm.tracer import CountingTracer, MultiTracer, StructTracer
+from repro.hardware.timing import CostModel
+from repro.hypervisor.bundle_codec import TransactionBundle, encode_bundle
+from repro.hypervisor.hypervisor import SecurityFeatures
+from repro.recovery.bench import wire_hash, world_digest
+from repro.serving.gateway import (
+    FleetModelExecutor,
+    Gateway,
+    GatewayConfig,
+    ServiceExecutor,
+)
+from repro.serving.loadgen import LoadSession, synthetic_profiles
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.router import ShardSessionRouter
+from repro.sharding import (
+    ShardedObliviousStateBackend,
+    ShardedOramConfig,
+    ShardedOramFleet,
+)
+from repro.state.journal import JournaledState
+from repro.telemetry.exporters import render_chrome_trace, render_prometheus
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.slo import SloMonitor, default_slo_rules
+from repro.telemetry.tracer import TraceSampler, install_tracer, uninstall_tracer
+from repro.telemetry.unified import (
+    counts_from_events,
+    counts_from_span,
+    counts_from_trace,
+    from_struct_logs,
+    reconcile_counts,
+    reconcile_step_traces,
+)
+from repro.workloads.generator import EvaluationSetConfig, build_evaluation_set
+from repro.async_serving.reactor import VirtualReactor
+from repro.async_serving.tier import (
+    AsyncServingConfig,
+    AsyncServingTier,
+    ModelHandshakeEngine,
+    drive_open_loop,
+)
+
+
+@dataclass
+class ObsBenchConfig:
+    """One obs-bench invocation."""
+
+    seed: int = 1
+    # -- identity / async-leg scenario (real pipeline) ------------------
+    identity_tenants: int = 3
+    identity_requests: int = 9
+    identity_rate_rps: float = 40.0
+    device_count: int = 2
+    hevms_per_device: int = 2
+    security_level: str = "full"
+    blocks: int = 1
+    txs_per_block: int = 4
+    trace_sample_rate: float = 1.0
+    flight_capacity: int = 32
+    # -- reconciliation legs -------------------------------------------
+    reconcile_txs: int = 3
+    shard_count: int = 2
+    shard_oram_height: int = 9
+    # -- alert scenario (model tier, epoch bump) -----------------------
+    fault_sessions: int = 48
+    rounds: int = 2
+    shards: int = 4
+    cores_per_shard: int = 32
+    open_window_us: float = 50_000.0
+    round_gap_us: float = 1_000_000.0
+    suspend_after_us: float = 200_000.0
+    observe_every_us: float = 250_000.0
+    slo_window_us: float = 500_000.0
+
+    @classmethod
+    def smoke(cls, seed: int = 1) -> "ObsBenchConfig":
+        """CI-sized: fewer tenants/requests, smaller fault fleet."""
+        return cls(
+            seed=seed,
+            identity_tenants=2,
+            identity_requests=6,
+            reconcile_txs=2,
+            fault_sessions=24,
+        )
+
+
+# ----------------------------------------------------------------------
+# Gate 1: identity (observability on == observability off, frontend bytes)
+# ----------------------------------------------------------------------
+
+@dataclass
+class _StackArtifacts:
+    trace_hash: str
+    metrics_hash: str
+    prometheus_hash: str
+    wire_hash: str
+    digest: str
+    completed: int
+    failed: int
+    async_span_count: int
+    async_plane_lines: int
+    dump_count: int
+    alert_count: int
+    tx_span_counts: list[dict]
+
+
+def _run_serving_stack(config: ObsBenchConfig,
+                       observability: bool) -> _StackArtifacts:
+    """One reactor-driven real-pipeline run, obs stack off or on."""
+    evalset = build_evaluation_set(
+        EvaluationSetConfig(blocks=config.blocks,
+                            txs_per_block=config.txs_per_block)
+    )
+    service = HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level(config.security_level),
+        device_count=config.device_count,
+        device_config=DeviceConfig(hevm_count=config.hevms_per_device),
+        charge_fees=False,
+    )
+    metrics = MetricsRegistry()
+    tracer = install_tracer(
+        service.clock, TraceSampler(config.trace_sample_rate, config.seed)
+    )
+    tier_tracer = None
+    try:
+        flight = (
+            FlightRecorder(config.flight_capacity) if observability else None
+        )
+        gateway = Gateway(
+            ServiceExecutor(service), GatewayConfig(),
+            metrics=metrics, tracer=tracer, flight=flight,
+        )
+        reactor = VirtualReactor(start_us=gateway.now_us)
+        monitor = None
+        if observability:
+            # The async plane's spans go to a tracer keyed off the
+            # *reactor*: a separate clock domain, so they cannot land in
+            # (or renumber) the frontend trace the identity gate hashes.
+            tier_tracer = install_tracer(reactor)
+            monitor = SloMonitor(default_slo_rules(
+                window_us=config.slo_window_us
+            ))
+        tier = AsyncServingTier(
+            reactor, gateway, engine=None,
+            config=AsyncServingConfig(resumption=False),
+            flight=flight,
+        )
+        sessions: list[LoadSession] = []
+        transactions = evalset.transactions
+        for tenant in range(config.identity_tenants):
+            client = PreExecutionClient(
+                service.manufacturer.root_public_key,
+                rng_seed=bytes([tenant + 1]) * 32,
+            )
+            home = tenant % config.device_count
+            user = client.connect(service, service.devices[home])
+
+            def make_payload(ordinal: int, offset: int = tenant, user=user):
+                tx = transactions[(offset + ordinal) % len(transactions)]
+                bundle = TransactionBundle(
+                    transactions=(tx,), block_number=service.synced_height
+                )
+                encoded = encode_bundle(bundle)
+                return lambda: user.channel.seal(encoded)
+
+            sessions.append(
+                LoadSession(
+                    session_id=user.session_id,
+                    make_payload=make_payload,
+                    device_index=home,
+                )
+            )
+            tier.adopt_session(user.session_id, device_index=home)
+        load = drive_open_loop(
+            tier, sessions,
+            rate_rps=config.identity_rate_rps,
+            total_requests=config.identity_requests,
+            seed=config.seed,
+        )
+        alert_count = 0
+        if monitor is not None:
+            snapshot = dict(tier.metrics.snapshot())
+            snapshot.update(gateway.metrics.snapshot())
+            monitor.observe(snapshot, gateway.now_us)
+            alert_count = len(monitor.alerts)
+        trace_json = render_chrome_trace(tracer)
+        # The frontend exposition: rendered WITHOUT planes, exactly as
+        # every pre-observability caller renders it.
+        prometheus = render_prometheus(metrics)
+        async_lines = 0
+        if observability:
+            with_planes = render_prometheus(
+                metrics, planes={"async": tier.metrics}
+            )
+            async_lines = with_planes.count('plane="async"')
+        tx_span_counts = [
+            counts_from_span(span)
+            for span in tracer.spans
+            if span.name == "hevm.tx" and "instructions" in span.attributes
+        ]
+    finally:
+        uninstall_tracer(service.clock)
+        if tier_tracer is not None:
+            uninstall_tracer(reactor)
+    return _StackArtifacts(
+        trace_hash=hashlib.sha256(trace_json.encode()).hexdigest(),
+        metrics_hash=hashlib.sha256(
+            json.dumps(metrics.snapshot(), sort_keys=True).encode()
+        ).hexdigest(),
+        prometheus_hash=hashlib.sha256(prometheus.encode()).hexdigest(),
+        wire_hash=wire_hash([load]),
+        digest=world_digest(service),
+        completed=load.completed,
+        failed=load.failed,
+        async_span_count=0 if tier_tracer is None else len(tier_tracer.spans),
+        async_plane_lines=async_lines,
+        dump_count=0 if not observability else len(flight.dumps),
+        alert_count=alert_count,
+        tx_span_counts=tx_span_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gate 2: three-way trace reconciliation
+# ----------------------------------------------------------------------
+
+
+def _node_ground_truth(evalset, service, tx):
+    """Offline re-execution on the node's synced state, fees off."""
+    state = JournaledState(evalset.node.state_at(service.synced_height).copy())
+    struct = StructTracer(capture_stack=False)
+    counting = CountingTracer()
+    result = execute_transaction(
+        state,
+        service.pending_chain_context(),
+        tx,
+        tracer=MultiTracer(struct, counting),
+        charge_fees=False,
+    )
+    return result, struct.logs, counting.counts
+
+
+def _reconcile_leg(config: ObsBenchConfig, leg: str) -> dict:
+    """One execution leg: node vs HEVM steps vs live span counts."""
+    evalset = build_evaluation_set(
+        EvaluationSetConfig(blocks=config.blocks,
+                            txs_per_block=config.txs_per_block)
+    )
+    service = HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level("full"),
+        charge_fees=False,
+    )
+    device = service.devices[0]
+    if leg == "sharded":
+        fleet = ShardedOramFleet(
+            ShardedOramConfig(
+                shard_count=config.shard_count,
+                oram_height=config.shard_oram_height,
+            ),
+            hashlib.sha256(b"obs-bench-shard-%d" % config.seed).digest(),
+        )
+        oram_backend = ShardedObliviousStateBackend(
+            fleet, clock=lambda: service.clock.now_us
+        )
+        oram_backend.sync_world(service._synced_state.accounts)
+    else:
+        oram_backend = device.oram_backend
+    tracer = install_tracer(service.clock)
+    txs = evalset.transactions[: config.reconcile_txs]
+    steps = 0
+    commitments: list[str] = []
+    try:
+        core = device.cores[0]
+        for tx in txs:
+            before = len(tracer.spans)
+            results, _, _, struct_traces = core.run_bundle(
+                [tx],
+                service.pending_chain_context(),
+                service._synced_state,
+                oram_backend,
+                storage_via_oram=True,
+                code_via_oram=True,
+                struct_trace=True,
+                charge_fees=False,
+            )
+            core.reset()
+            tx_spans = [
+                span for span in tracer.spans[before:]
+                if span.name == "hevm.tx"
+            ]
+            assert len(results) == 1 and len(tx_spans) == 1
+            _, node_logs, node_counts = _node_ground_truth(
+                evalset, service, tx
+            )
+            node_trace = from_struct_logs(node_logs)
+            hevm_trace = from_struct_logs(struct_traces[0])
+            root = reconcile_step_traces(
+                node_trace, hevm_trace,
+                expected_source=f"node/{leg}", actual_source=f"hevm/{leg}",
+            )
+            reconcile_counts(
+                counts_from_trace(node_trace),
+                counts_from_events(node_counts),
+                expected_source=f"node-steps/{leg}",
+                actual_source=f"node-events/{leg}",
+            )
+            reconcile_counts(
+                counts_from_trace(hevm_trace),
+                counts_from_span(tx_spans[0]),
+                expected_source=f"hevm-steps/{leg}",
+                actual_source=f"hevm-span/{leg}",
+            )
+            steps += node_trace.instructions
+            commitments.append(root)
+    finally:
+        uninstall_tracer(service.clock)
+    return {
+        "leg": leg,
+        "transactions": len(txs),
+        "steps": steps,
+        "commitments": commitments,
+    }
+
+
+def _reconcile_async_leg(config: ObsBenchConfig,
+                         observed: _StackArtifacts) -> dict:
+    """Aggregate reconciliation of the live async run's hevm.tx spans.
+
+    The open-loop driver's submission schedule is deterministic
+    (round-robin tenants, per-tenant ordinals), so the exact transaction
+    multiset the run executed is recomputable offline; its node-side
+    totals must equal the sum of every span's live counts.
+    """
+    evalset = build_evaluation_set(
+        EvaluationSetConfig(blocks=config.blocks,
+                            txs_per_block=config.txs_per_block)
+    )
+    service = HarDTAPEService(
+        evalset.node,
+        SecurityFeatures.from_level(config.security_level),
+        charge_fees=False,
+    )
+    transactions = evalset.transactions
+    per_tx: dict[int, dict] = {}
+    expected = {"instructions": 0, "by_group": {}}
+    for index in range(config.identity_requests):
+        tenant = index % config.identity_tenants
+        ordinal = index // config.identity_tenants
+        tx_index = (tenant + ordinal) % len(transactions)
+        if tx_index not in per_tx:
+            _, logs, _ = _node_ground_truth(
+                evalset, service, transactions[tx_index]
+            )
+            per_tx[tx_index] = counts_from_trace(from_struct_logs(logs))
+        counts = per_tx[tx_index]
+        expected["instructions"] += counts["instructions"]
+        for group, n in counts["by_group"].items():
+            expected["by_group"][group] = (
+                expected["by_group"].get(group, 0) + n
+            )
+    actual = {"instructions": 0, "by_group": {}}
+    for counts in observed.tx_span_counts:
+        actual["instructions"] += counts["instructions"]
+        for group, n in counts["by_group"].items():
+            actual["by_group"][group] = actual["by_group"].get(group, 0) + n
+    reconcile_counts(
+        expected, actual,
+        expected_source="node/async-offline", actual_source="span/async-live",
+    )
+    return {
+        "leg": "async",
+        "transactions": config.identity_requests,
+        "spans": len(observed.tx_span_counts),
+        "instructions": actual["instructions"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Gate 3: induced-fault alerts + sealed dumps
+# ----------------------------------------------------------------------
+
+@dataclass
+class _FaultRunResult:
+    dump_digests: list[str]
+    dump_causes: list[str]
+    alerts: list[dict]
+    stale_refused: int
+    completed: int
+    failed: int
+
+
+def _run_fault_tier(config: ObsBenchConfig, *,
+                    epoch_bump: bool) -> _FaultRunResult:
+    """A model-tier run with the obs stack armed, bumping the epoch
+    mid-flight (or not, for the zero-fault twin)."""
+    cost = CostModel()
+    engine = ModelHandshakeEngine(cost, seed=config.seed)
+    gateways = {
+        shard: Gateway(
+            FleetModelExecutor(config.cores_per_shard, cost),
+            GatewayConfig(max_queue_depth=config.fault_sessions * 2,
+                          max_in_flight_per_session=4),
+        )
+        for shard in range(config.shards)
+    }
+    router = ShardSessionRouter(gateways)
+    reactor = VirtualReactor()
+    flight = FlightRecorder(config.flight_capacity)
+    tier = AsyncServingTier(
+        reactor, router, engine,
+        config=AsyncServingConfig(
+            max_sessions=config.fault_sessions,
+            suspend_after_us=config.suspend_after_us,
+            resumption=True,
+        ),
+        flight=flight,
+    )
+    monitor = SloMonitor(default_slo_rules(window_us=config.slo_window_us))
+    profiles = synthetic_profiles(
+        cost, "mixed", count=16, seed=config.seed
+    )
+
+    def open_and_submit(rid: bytes, ordinal: int) -> None:
+        tier.open_session(rid)
+        tier.submit(rid, profiles[ordinal % len(profiles)])
+
+    def burst(rid: bytes, ordinal: int) -> None:
+        tier.submit(rid, profiles[ordinal % len(profiles)])
+
+    bumped = False
+
+    def maybe_bump() -> None:
+        nonlocal bumped
+        if not bumped:
+            engine.advance_epoch()
+            bumped = True
+
+    def observe() -> None:
+        monitor.observe(tier.metrics.snapshot(), reactor.now_us)
+
+    stride = config.open_window_us / config.fault_sessions
+    for index in range(config.fault_sessions):
+        rid = b"obs-%08d" % index
+        t_open = index * stride
+        reactor.call_at(t_open, open_and_submit, rid, index)
+        for round_no in range(1, config.rounds + 1):
+            at = t_open + round_no * config.round_gap_us
+            if epoch_bump and round_no == 1 and index == 0:
+                reactor.call_at(at - 1.0, maybe_bump)
+            reactor.call_at(at, burst, rid, index + round_no)
+    horizon = (
+        config.open_window_us
+        + config.rounds * config.round_gap_us
+        + config.suspend_after_us
+        + 2 * config.observe_every_us
+    )
+    ticks = int(horizon / config.observe_every_us)
+    for tick in range(1, ticks + 1):
+        reactor.call_at(tick * config.observe_every_us, observe)
+    start_us = router.now_us
+    tier.run()
+    load = tier.load_report(start_us)
+    return _FaultRunResult(
+        dump_digests=flight.dump_digests(),
+        dump_causes=[dump.cause_type for dump in flight.dumps],
+        alerts=monitor.alert_dicts(),
+        stale_refused=int(
+            tier.metrics.snapshot().get("tier.stale_tickets", 0)
+        ),
+        completed=load.completed,
+        failed=load.failed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Report and gates
+# ----------------------------------------------------------------------
+
+@dataclass
+class ObsBenchReport:
+    seed: int
+    identity: dict[str, bool]
+    observability: dict
+    reconciliation: dict
+    alerts: dict
+    gate_failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "bench": "obs",
+                "seed": self.seed,
+                "identity": self.identity,
+                "observability": self.observability,
+                "reconciliation": self.reconciliation,
+                "alerts": self.alerts,
+                "gate_failures": self.gate_failures,
+                "passed": self.passed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            "identity (observability on vs off, frontend bytes): "
+            + (
+                "byte-identical"
+                if all(self.identity.values())
+                else "DIVERGED "
+                + str(sorted(k for k, v in self.identity.items() if not v))
+            ),
+            f"  async plane recorded {self.observability['async_spans']} "
+            f"spans, {self.observability['async_plane_lines']} "
+            f"plane=async series, frontend untouched",
+            "reconciliation: "
+            + ", ".join(
+                f"{leg['leg']} {leg['steps']} steps"
+                if "steps" in leg
+                else f"{leg['leg']} {leg['instructions']} instructions "
+                     f"across {leg['spans']} live spans"
+                for leg in self.reconciliation["legs"]
+            )
+            + " — all exact",
+            f"alerts: {self.alerts['stale_refused']} stale tickets sealed "
+            f"{self.alerts['dumps']} flight dumps, "
+            f"{self.alerts['alert_count']} burn-rate alerts "
+            f"({', '.join(sorted(set(self.alerts['alert_rules']))) or 'none'})"
+            + (", rerun byte-identical"
+               if self.alerts["deterministic"] else ", RERUN DIVERGED"),
+            f"  zero-fault twin: {self.alerts['quiet_dumps']} dumps, "
+            f"{self.alerts['quiet_alerts']} alerts",
+        ]
+        if self.gate_failures:
+            lines.append("gate failures:")
+            lines.extend(f"  - {failure}" for failure in self.gate_failures)
+        else:
+            lines.append("all gates passed")
+        return lines
+
+
+def run_obs_bench(config: ObsBenchConfig) -> ObsBenchReport:
+    failures: list[str] = []
+
+    # 1. Identity.
+    plain = _run_serving_stack(config, observability=False)
+    observed = _run_serving_stack(config, observability=True)
+    identity = {
+        "trace": plain.trace_hash == observed.trace_hash,
+        "metrics": plain.metrics_hash == observed.metrics_hash,
+        "prometheus": plain.prometheus_hash == observed.prometheus_hash,
+        "wire": plain.wire_hash == observed.wire_hash,
+        "digest": plain.digest == observed.digest,
+    }
+    for name, equal in identity.items():
+        if not equal:
+            failures.append(
+                f"identity: arming the observability stack changed the "
+                f"{name} bytes of a seeded run"
+            )
+    observability = {
+        "async_spans": observed.async_span_count,
+        "async_plane_lines": observed.async_plane_lines,
+        "dumps": observed.dump_count,
+        "alerts": observed.alert_count,
+        "completed": observed.completed,
+        "failed": observed.failed,
+    }
+    if observed.async_span_count == 0:
+        failures.append(
+            "identity: observability-on run recorded no async-plane spans "
+            "(the gate would be vacuous)"
+        )
+    if observed.async_plane_lines == 0:
+        failures.append(
+            "identity: plane=async exposition rendered no series"
+        )
+    if observed.dump_count != 0:
+        failures.append(
+            f"identity: {observed.dump_count} flight dumps sealed on a "
+            f"zero-failure run"
+        )
+
+    # 2. Reconciliation: sync + sharded legs, then the live async leg.
+    legs = []
+    for leg in ("sync", "sharded"):
+        legs.append(_reconcile_leg(config, leg))
+    legs.append(_reconcile_async_leg(config, observed))
+    if legs[0]["commitments"] != legs[1]["commitments"]:
+        failures.append(
+            "reconciliation: sharded-leg commitments diverge from sync "
+            "(same transactions, same schema — must be identical roots)"
+        )
+    reconciliation = {"legs": legs, "exact": True}
+
+    # 3. Alerts: induced fault twice (determinism) + zero-fault twin.
+    fault_a = _run_fault_tier(config, epoch_bump=True)
+    fault_b = _run_fault_tier(config, epoch_bump=True)
+    quiet = _run_fault_tier(config, epoch_bump=False)
+    deterministic = (
+        fault_a.dump_digests == fault_b.dump_digests
+        and fault_a.alerts == fault_b.alerts
+    )
+    alert_rules = [alert["rule"] for alert in fault_a.alerts]
+    alerts = {
+        "sessions": config.fault_sessions,
+        "stale_refused": fault_a.stale_refused,
+        "dumps": len(fault_a.dump_digests),
+        "dump_digest": hashlib.sha256(
+            "".join(fault_a.dump_digests).encode()
+        ).hexdigest(),
+        "alert_count": len(fault_a.alerts),
+        "alert_rules": alert_rules,
+        "deterministic": deterministic,
+        "quiet_dumps": len(quiet.dump_digests),
+        "quiet_alerts": len(quiet.alerts),
+        "completed": fault_a.completed,
+        "failed": fault_a.failed,
+    }
+    if fault_a.stale_refused != config.fault_sessions:
+        failures.append(
+            f"alerts: {fault_a.stale_refused} stale refusals for "
+            f"{config.fault_sessions} outstanding tickets"
+        )
+    if len(fault_a.dump_digests) != config.fault_sessions:
+        failures.append(
+            f"alerts: {len(fault_a.dump_digests)} sealed dumps, expected "
+            f"one per stale ticket ({config.fault_sessions})"
+        )
+    if any(cause != "StaleTicketError" for cause in fault_a.dump_causes):
+        failures.append(
+            "alerts: a sealed dump carries a cause other than "
+            "StaleTicketError"
+        )
+    if "stale-ticket-rate" not in alert_rules:
+        failures.append(
+            "alerts: the stale-ticket-rate burn alert did not fire"
+        )
+    if not deterministic:
+        failures.append(
+            "alerts: seeded rerun produced different dumps or alerts"
+        )
+    if quiet.dump_digests or quiet.alerts:
+        failures.append(
+            f"alerts: zero-fault twin emitted {len(quiet.dump_digests)} "
+            f"dumps / {len(quiet.alerts)} alerts"
+        )
+    if fault_a.failed:
+        failures.append(
+            f"alerts: {fault_a.failed} failed requests — stale fallbacks "
+            f"must recover every session"
+        )
+
+    return ObsBenchReport(
+        seed=config.seed,
+        identity=identity,
+        observability=observability,
+        reconciliation=reconciliation,
+        alerts=alerts,
+        gate_failures=failures,
+    )
+
+
+__all__ = ["ObsBenchConfig", "ObsBenchReport", "run_obs_bench"]

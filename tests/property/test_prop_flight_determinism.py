@@ -1,0 +1,112 @@
+"""Flight-recorder determinism properties (the observability PR's S3 bar).
+
+Two identically seeded histories must seal byte-identical dumps —
+digest, canonical JSON, everything — because the recorder is a pure fold
+over (session, entry, failure) events with no clock or RNG of its own.
+And a history containing no trigger-typed failure must seal nothing at
+all: a zero-failure run leaves the black box closed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.flight import SEAL_CAUSES, FlightRecorder
+
+pytestmark = pytest.mark.observability
+
+# One recorded observability entry: (session, name, at_us, attrs).
+_sessions = st.integers(min_value=0, max_value=5).map(
+    lambda n: b"sess-%02d" % n
+)
+_attr_values = st.one_of(
+    st.integers(min_value=-2**32, max_value=2**32),
+    st.text(max_size=8),
+    st.binary(max_size=8),
+    st.booleans(),
+)
+_entries = st.tuples(
+    _sessions,
+    st.sampled_from(["tier.admit", "tier.handshake", "tier.dispatch", "kind"]),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.dictionaries(
+        st.sampled_from(["shard", "kind", "name", "request_id"]),
+        _attr_values,
+        max_size=3,
+    ),
+)
+# A failure event: (session, cause_type, reason, at_us).  Cause names are
+# drawn from both trigger and non-trigger types.
+_failures = st.tuples(
+    _sessions,
+    st.sampled_from(sorted(SEAL_CAUSES) + ["ValueError", "TimeoutError"]),
+    st.text(max_size=16),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+)
+_histories = st.lists(
+    st.one_of(
+        _entries.map(lambda e: ("note", e)),
+        _failures.map(lambda f: ("fail", f)),
+    ),
+    max_size=40,
+)
+
+
+def _replay(history, capacity):
+    recorder = FlightRecorder(capacity=capacity)
+    for tag, payload in history:
+        if tag == "note":
+            session, name, at_us, attrs = payload
+            recorder.note(session, "event", name, at_us, **attrs)
+        else:
+            session, cause, reason, at_us = payload
+            recorder.seal_if_triggered(session, cause, reason, at_us)
+    return recorder
+
+
+@given(history=_histories, capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_identical_histories_seal_byte_identical_dumps(history, capacity):
+    first = _replay(history, capacity)
+    second = _replay(history, capacity)
+    assert first.dump_digests() == second.dump_digests()
+    assert [dump.canonical_json() for dump in first.dumps] == [
+        dump.canonical_json() for dump in second.dumps
+    ]
+
+
+@given(history=_histories, capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_dump_count_matches_trigger_typed_failures_exactly(history, capacity):
+    recorder = _replay(history, capacity)
+    triggers = [
+        payload for tag, payload in history
+        if tag == "fail" and payload[1] in SEAL_CAUSES
+    ]
+    assert len(recorder.dumps) == len(triggers)
+    for dump, (session, cause, reason, at_us) in zip(recorder.dumps, triggers):
+        assert dump.cause_type == cause
+        assert dump.session_id == session.hex()
+        assert dump.sealed_at_us == at_us
+
+
+@given(
+    history=st.lists(_entries, max_size=30),
+    non_triggers=st.lists(
+        st.tuples(_sessions,
+                  st.sampled_from(["ValueError", "KeyError", "OSError"]),
+                  st.text(max_size=8),
+                  st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        max_size=10,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_zero_failure_run_emits_no_dump(history, non_triggers):
+    recorder = FlightRecorder(capacity=4)
+    for session, name, at_us, attrs in history:
+        recorder.note(session, "event", name, at_us, **attrs)
+    for session, cause, reason, at_us in non_triggers:
+        assert recorder.seal_if_triggered(session, cause, reason, at_us) is None
+    assert recorder.dumps == []
+    assert recorder.dump_digests() == []
