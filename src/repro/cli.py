@@ -402,6 +402,15 @@ def cmd_perf_bench(args) -> int:
         print(f"PERF-BENCH FAILED: speedup {report.speedup:.1f}x below the "
               f"{args.min_speedup:g}x regression gate", file=sys.stderr)
         return 1
+    if not report.backends_identical:
+        print("PERF-BENCH FAILED: crypto backends diverge pairwise "
+              f"({', '.join(report.backend_mismatches)})", file=sys.stderr)
+        return 1
+    if report.backends and report.best_backend_speedup < args.min_speedup:
+        print(f"PERF-BENCH FAILED: best backend speedup "
+              f"{report.best_backend_speedup:.1f}x below the "
+              f"{args.min_speedup:g}x gate", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.backend import (
+    DEFAULT_BACKEND,
+    UnknownBackendError,
+    available_backends,
+)
 from repro.crypto.kdf import Drbg
 from repro.crypto.puf import Manufacturer
 from repro.hardware.csu import BootImage, ConfigurationSecurityUnit, MonotonicCounter
@@ -64,6 +69,26 @@ class DeviceConfig:
     # Layer2CallStack); l3_oram prices spills as full ORAM accesses.
     oversize_policy: str = "abort"
     l3_oram: bool = False
+    # Which registered CryptoBackend tier runs this device's secure
+    # channel AEAD and signature verification (repro.crypto.backend):
+    # "reference", "numpy", or "hashlib".  Every tier is wire-identical;
+    # the knob trades wall clock only.
+    crypto_backend: str = DEFAULT_BACKEND
+
+    # Backend names are validated here, at construction, so a typo'd
+    # deployment dies with a typed error instead of failing deep in
+    # device setup.
+    KNOWN_ORAM_BACKENDS = ("path", "pyramid")
+
+    def __post_init__(self) -> None:
+        if self.crypto_backend not in available_backends():
+            raise UnknownBackendError(
+                "crypto", self.crypto_backend, available_backends()
+            )
+        if self.oram_backend not in self.KNOWN_ORAM_BACKENDS:
+            raise UnknownBackendError(
+                "oram", self.oram_backend, self.KNOWN_ORAM_BACKENDS
+            )
 
 
 class HarDTAPEDevice:
@@ -175,6 +200,7 @@ class HarDTAPEDevice:
             oram_backend=self.oram_backend,
             features=features,
             oram_key=oram_key,
+            crypto_backend=self.config.crypto_backend,
         )
 
     @property
@@ -218,5 +244,6 @@ class HarDTAPEDevice:
             features=self.features,
             oram_key=oram_key,
             generation=self.restarts,
+            crypto_backend=self.config.crypto_backend,
         )
         return self.hypervisor

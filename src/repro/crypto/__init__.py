@@ -4,6 +4,11 @@ Everything is implemented from scratch in pure Python and validated
 against public test vectors: Keccak-256 (Ethereum's hash), AES-GCM,
 secp256k1 ECDSA/ECDH, HKDF, a deterministic DRBG, and a simulated PUF
 root of trust.
+
+Hot-path primitives additionally come in registered *backend* tiers
+(:mod:`repro.crypto.backend`): the pure-Python reference, the numpy
+vectorized engine, and a stdlib/OpenSSL-accelerated tier — all
+provably byte-identical, selected per device config.
 """
 
 from repro.crypto.aes import AES
@@ -13,26 +18,49 @@ from repro.crypto.ecc import (
     PrivateKey,
     PublicKey,
     Signature,
+    batch_verify,
 )
 from repro.crypto.gcm import AesGcm, AuthenticationError
 from repro.crypto.kdf import Drbg, hkdf_sha256
-from repro.crypto.keccak import Keccak256, keccak256
+from repro.crypto.keccak import (
+    Keccak256,
+    keccak256,
+    keccak256_many,
+    keccak_memo_stats,
+)
 from repro.crypto.puf import DeviceIdentity, Manufacturer, SimulatedPuf
+from repro.crypto.backend import (
+    CryptoBackend,
+    UnknownBackendError,
+    activate,
+    active_backend,
+    available_backends,
+    get_backend,
+)
 
 __all__ = [
     "AES",
     "AesGcm",
     "AuthenticationError",
+    "CryptoBackend",
     "DeviceIdentity",
     "Drbg",
     "InvalidSignature",
     "Keccak256",
     "keccak256",
+    "keccak256_many",
+    "keccak_memo_stats",
     "Manufacturer",
     "Point",
     "PrivateKey",
     "PublicKey",
     "Signature",
     "SimulatedPuf",
+    "UnknownBackendError",
+    "activate",
+    "active_backend",
+    "available_backends",
+    "batch_verify",
+    "get_backend",
     "hkdf_sha256",
 ]

@@ -1,0 +1,269 @@
+"""The pluggable CryptoBackend tier: one interface, three engines.
+
+HarDTAPE offloads contract-processing primitives to dedicated hardware
+units; the software analogue is a registry of interchangeable crypto
+*backends*, each a bundle of implementations for the three primitives
+on the hot path — Keccak-256 (trie nodes, sync roots, SHA3 opcodes),
+AES-GCM (secure channel, ORAM sealing), and ECDSA verification
+(channel signatures) — selected per
+:class:`~repro.core.device.DeviceConfig` exactly like ``oram_backend``.
+
+Three tiers register at import time:
+
+* ``reference`` — the pure-Python sponge/T-table/double-and-add code
+  the repo shipped with; the ground truth every other tier is gated
+  against.
+* ``numpy`` — lane-wise batch Keccak-f[1600]
+  (:mod:`repro.crypto.keccak_numpy`), the vectorized T-table AES-GCM
+  from PR 4, and shared-precomputation windowed ECDSA.
+* ``hashlib`` — the stdlib/OpenSSL-accelerated tier: AES-GCM through
+  the ``cryptography`` package when present and ECDSA verification via
+  OpenSSL's secp256k1; hashing rides the vector engine.  Every
+  acceleration is *gated*: a container without ``cryptography`` still
+  registers this tier, falling back to the numpy implementations.
+
+The contract every backend must honour — and perf-bench's pairwise
+identity gate enforces — is **byte identity**: same wire bytes, same
+digests, same accept/reject decisions on the same inputs.  A backend
+may only change wall clock, never a single protocol byte.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import ecc
+from repro.crypto.ecc import InvalidSignature, PublicKey, Signature
+from repro.crypto.keccak import SpongeKeccakEngine, set_keccak_engine
+from repro.crypto.suite import (
+    HAVE_OPENSSL_AESGCM,
+    AcceleratedAesGcmAead,
+    AeadCipher,
+    AesGcmAead,
+)
+
+
+class UnknownBackendError(ValueError):
+    """A config named a backend that is not registered.
+
+    Raised *eagerly* — at :class:`~repro.core.device.DeviceConfig`
+    construction — so a typo'd deployment dies with a typed error
+    naming the known choices instead of failing deep inside device
+    setup.  ``kind`` is ``"crypto"`` or ``"oram"``.
+    """
+
+    def __init__(self, kind: str, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown {kind} backend {name!r}; registered: {', '.join(known)}"
+        )
+        self.kind = kind
+        self.name = name
+        self.known = known
+
+
+class CryptoBackend:
+    """One tier of crypto implementations (see module docstring).
+
+    Subclasses override the factory hooks; the base class carries the
+    reference behaviour so a backend only specifies what it
+    accelerates.
+    """
+
+    name = "reference"
+    description = "pure-Python sponge, T-table AES, double-and-add ECDSA"
+
+    def keccak_engine(self):
+        """The Keccak engine this backend installs process-wide."""
+        return SpongeKeccakEngine()
+
+    def aead_factory(self, key: bytes) -> AeadCipher:
+        """An AES-GCM cipher for the secure channel (wire-identical)."""
+        return AesGcmAead(key)
+
+    def verifier(self, public_key: PublicKey):
+        """A per-peer-key message verifier (``verify``/``verify_many``)."""
+        return _ReferenceVerifier(public_key)
+
+    def ecdsa_verify_many(
+        self, items: list[tuple[PublicKey, bytes, Signature]]
+    ) -> None:
+        """Verify many triples; raise on the first failure."""
+        for public_key, message_hash, signature in items:
+            public_key.verify(message_hash, signature)
+
+
+class _ReferenceVerifier:
+    """Sequential verification against one key, no precomputation."""
+
+    def __init__(self, public_key: PublicKey) -> None:
+        self.public_key = public_key
+
+    def verify(self, message_hash: bytes, signature: Signature) -> None:
+        self.public_key.verify(message_hash, signature)
+
+    def verify_many(self, items: list[tuple[bytes, Signature]]) -> None:
+        for message_hash, signature in items:
+            self.public_key.verify(message_hash, signature)
+
+
+class NumpyBackend(CryptoBackend):
+    """Vectorized tier: batch keccak lanes, T-table AES, windowed ECDSA."""
+
+    name = "numpy"
+    description = (
+        "lane-wise batch Keccak-f[1600], vectorized T-table AES-GCM, "
+        "shared-precomputation windowed ECDSA"
+    )
+
+    def keccak_engine(self):
+        from repro.crypto.keccak_numpy import VectorKeccakEngine
+
+        return VectorKeccakEngine()
+
+    def verifier(self, public_key: PublicKey):
+        return ecc.precomputed_verifier(public_key)
+
+    def ecdsa_verify_many(
+        self, items: list[tuple[PublicKey, bytes, Signature]]
+    ) -> None:
+        ecc.batch_verify(items)
+
+
+class _OpensslVerifier:
+    """ECDSA verification through OpenSSL's secp256k1.
+
+    Maps OpenSSL's refusal to the repo's typed
+    :class:`~repro.crypto.ecc.InvalidSignature`, with the reference
+    range pre-checks so out-of-range scalars fail with the same typed
+    error before any point math runs.
+    """
+
+    def __init__(self, public_key: PublicKey) -> None:
+        from cryptography.hazmat.primitives.asymmetric import ec as _ec
+
+        self.public_key = public_key
+        self._openssl_key = _ec.EllipticCurvePublicNumbers(
+            public_key.point.x, public_key.point.y, _ec.SECP256K1()
+        ).public_key()
+
+    def verify(self, message_hash: bytes, signature: Signature) -> None:
+        from cryptography.exceptions import InvalidSignature as _OsslInvalid
+        from cryptography.hazmat.primitives import hashes as _hashes
+        from cryptography.hazmat.primitives.asymmetric import ec as _ec
+        from cryptography.hazmat.primitives.asymmetric.utils import (
+            Prehashed,
+            encode_dss_signature,
+        )
+
+        if len(message_hash) != 32:
+            raise ValueError("message hash must be 32 bytes")
+        r, s = signature.r, signature.s
+        if not (1 <= r < ecc.N and 1 <= s < ecc.N):
+            raise InvalidSignature("signature scalars out of range")
+        try:
+            self._openssl_key.verify(
+                encode_dss_signature(r, s),
+                message_hash,
+                _ec.ECDSA(Prehashed(_hashes.SHA256())),
+            )
+        except _OsslInvalid as exc:
+            raise InvalidSignature("r mismatch") from exc
+
+    def verify_many(self, items: list[tuple[bytes, Signature]]) -> None:
+        for message_hash, signature in items:
+            self.verify(message_hash, signature)
+
+
+class HashlibBackend(NumpyBackend):
+    """The stdlib/OpenSSL-accelerated tier; numpy fallbacks when gated."""
+
+    name = "hashlib"
+    description = (
+        "OpenSSL AES-GCM + secp256k1 ECDSA via `cryptography` "
+        "(numpy fallback when absent), lane-wise batch Keccak-f[1600]"
+    )
+
+    def aead_factory(self, key: bytes) -> AeadCipher:
+        if HAVE_OPENSSL_AESGCM:
+            return AcceleratedAesGcmAead(key)
+        return AesGcmAead(key)
+
+    def verifier(self, public_key: PublicKey):
+        if HAVE_OPENSSL_AESGCM:
+            return _OpensslVerifier(public_key)
+        return ecc.precomputed_verifier(public_key)
+
+    def ecdsa_verify_many(
+        self, items: list[tuple[PublicKey, bytes, Signature]]
+    ) -> None:
+        if not HAVE_OPENSSL_AESGCM:
+            ecc.batch_verify(items)
+            return
+        verifiers: dict[object, _OpensslVerifier] = {}
+        for public_key, message_hash, signature in items:
+            verifier = verifiers.get(public_key.point)
+            if verifier is None:
+                verifier = _OpensslVerifier(public_key)
+                verifiers[public_key.point] = verifier
+            verifier.verify(message_hash, signature)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BACKENDS: dict[str, CryptoBackend] = {}
+
+# The tier new devices get unless their DeviceConfig says otherwise:
+# the numpy engine (the PR 4 production cipher plus batch hashing).
+DEFAULT_BACKEND = "numpy"
+
+
+def register_backend(backend: CryptoBackend) -> CryptoBackend:
+    """Register ``backend`` under its ``name`` (last registration wins)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """Look up a backend; raises :class:`UnknownBackendError`."""
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise UnknownBackendError("crypto", name, available_backends())
+    return backend
+
+
+register_backend(CryptoBackend())  # "reference"
+register_backend(NumpyBackend())
+register_backend(HashlibBackend())
+
+_active = _BACKENDS[DEFAULT_BACKEND]
+
+
+def active_backend() -> CryptoBackend:
+    """The process-wide backend (hash engine + bench selection)."""
+    return _active
+
+
+def activate(name: str) -> CryptoBackend:
+    """Switch the process-wide backend and install its Keccak engine.
+
+    Per-device AEAD/verifier choices are threaded through
+    ``DeviceConfig.crypto_backend``; the *hash* engine is necessarily
+    process-global (``keccak256`` has no device context), and this is
+    the one supported switch point.  Safe to call at any time: engines
+    are byte-identical, so in-flight state never becomes inconsistent.
+    """
+    global _active
+    backend = get_backend(name)
+    _active = backend
+    set_keccak_engine(backend.keccak_engine())
+    return backend
+
+
+# Install the default tier's engine at import so trie commits batch
+# through the vector engine out of the box.
+activate(DEFAULT_BACKEND)

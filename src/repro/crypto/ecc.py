@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
 
 # secp256k1 domain parameters.
@@ -74,6 +75,74 @@ def _scalar_mul(k: int, point: Point) -> Point:
         addend = _point_add(addend, addend)
         k >>= 1
     return result
+
+
+# ---------------------------------------------------------------------------
+# Shared-precomputation scalar multiplication (repro.crypto.backend tiers).
+#
+# ECDSA verification is two scalar multiplications: u1*G + u2*Q.  Both
+# scalars are ~256 bits, so double-and-add costs ~256 doublings + ~128
+# additions per multiplication.  With 4-bit fixed windows the doublings
+# disappear entirely: table[i][j] = (j << 4i) * P for i in 0..63,
+# j in 0..15, and k*P is the sum of at most 64 table entries.  The G
+# table is global (built once per process); per-public-key tables are
+# what :class:`PrecomputedVerifier` and :func:`batch_verify` share
+# across the many verifies a channel or a bundle performs against the
+# same key.  The math is exact — every accelerated path returns the
+# same points, so accept/reject decisions are identical to the
+# reference :meth:`PublicKey.verify` (property-tested).
+# ---------------------------------------------------------------------------
+
+_WINDOW_BITS = 4
+_WINDOWS = 256 // _WINDOW_BITS  # 64 windows cover any scalar < 2**256
+
+
+def _window_table(point: Point) -> list[list[Point]]:
+    """Precompute ``table[i][j] = (j << 4i) * point`` for fixed windows."""
+    table: list[list[Point]] = []
+    base = point
+    for _ in range(_WINDOWS):
+        row = [INFINITY]
+        acc = INFINITY
+        for _ in range(1, 1 << _WINDOW_BITS):
+            acc = _point_add(acc, base)
+            row.append(acc)
+        table.append(row)
+        # Shift the base by one window: base <<= 4 (four doublings).
+        for _ in range(_WINDOW_BITS):
+            base = _point_add(base, base)
+    return table
+
+
+def _windowed_mul(table: list[list[Point]], k: int) -> Point:
+    """Scalar multiplication from a precomputed fixed-window table."""
+    k %= N
+    result = INFINITY
+    window = 0
+    while k:
+        nibble = k & 0xF
+        if nibble:
+            result = _point_add(result, table[window][nibble])
+        k >>= _WINDOW_BITS
+        window += 1
+    return result
+
+
+_G_TABLE: list[list[Point]] | None = None
+
+
+def _g_table() -> list[list[Point]]:
+    global _G_TABLE
+    if _G_TABLE is None:
+        _G_TABLE = _window_table(G)
+    return _G_TABLE
+
+
+def fixed_base_mul(k: int) -> Point:
+    """``k * G`` via the global fixed-window table (exact, just faster)."""
+    if k % N == 0:
+        return INFINITY
+    return _windowed_mul(_g_table(), k)
 
 
 def point_on_curve(point: Point) -> bool:
@@ -220,6 +289,88 @@ class Signature:
         if len(data) != 64:
             raise ValueError("signature must be 64 bytes")
         return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+class PrecomputedVerifier:
+    """ECDSA verification against one public key, tables built once.
+
+    A :class:`~repro.hypervisor.channel.SecureChannel` verifies every
+    incoming message against the same peer key, so the per-key window
+    table amortizes after a handful of messages.  Accept/reject
+    behaviour — including the exceptions raised — matches
+    :meth:`PublicKey.verify` exactly; only the scalar-multiplication
+    strategy differs, and the group law is exact either way.
+    """
+
+    def __init__(self, public_key: PublicKey) -> None:
+        self.public_key = public_key
+        self._key_table = _window_table(public_key.point)
+
+    def verify(self, message_hash: bytes, signature: Signature) -> None:
+        """Verify; raises :class:`InvalidSignature` on failure."""
+        if len(message_hash) != 32:
+            raise ValueError("message hash must be 32 bytes")
+        r, s = signature.r, signature.s
+        if not (1 <= r < N and 1 <= s < N):
+            raise InvalidSignature("signature scalars out of range")
+        z = int.from_bytes(message_hash, "big")
+        s_inv = pow(s, -1, N)
+        u1 = z * s_inv % N
+        u2 = r * s_inv % N
+        point = _point_add(
+            _windowed_mul(_g_table(), u1), _windowed_mul(self._key_table, u2)
+        )
+        if point.is_infinity:
+            raise InvalidSignature("verification produced infinity")
+        assert point.x is not None
+        if point.x % N != r:
+            raise InvalidSignature("r mismatch")
+
+    def verify_many(
+        self, items: list[tuple[bytes, Signature]]
+    ) -> None:
+        """Verify every ``(message_hash, signature)`` pair or raise.
+
+        Raises on the first failing pair, before any caller-visible
+        side effects — the all-or-nothing contract batch channel opens
+        rely on.
+        """
+        for message_hash, signature in items:
+            self.verify(message_hash, signature)
+
+
+# Per-key verifier cache for batch verification: bounded so a stream of
+# one-shot keys cannot grow host memory without limit.
+_VERIFIER_CACHE_CAPACITY = 64
+_verifier_cache: "OrderedDict[Point, PrecomputedVerifier]" = OrderedDict()
+
+
+def precomputed_verifier(public_key: PublicKey) -> PrecomputedVerifier:
+    """Return a (cached) :class:`PrecomputedVerifier` for ``public_key``."""
+    cached = _verifier_cache.get(public_key.point)
+    if cached is not None:
+        _verifier_cache.move_to_end(public_key.point)
+        return cached
+    verifier = PrecomputedVerifier(public_key)
+    _verifier_cache[public_key.point] = verifier
+    if len(_verifier_cache) > _VERIFIER_CACHE_CAPACITY:
+        _verifier_cache.popitem(last=False)
+    return verifier
+
+
+def batch_verify(
+    items: list[tuple[PublicKey, bytes, Signature]]
+) -> None:
+    """Verify many ``(public_key, message_hash, signature)`` triples.
+
+    Shares precomputation two ways: the global fixed-base G table, and
+    one window table per *distinct* public key (bundle/channel-open
+    batches verify many messages under few keys).  Equivalent to
+    calling :meth:`PublicKey.verify` in a loop — same accepts, same
+    :class:`InvalidSignature` on the first failure (property-tested).
+    """
+    for public_key, message_hash, signature in items:
+        precomputed_verifier(public_key).verify(message_hash, signature)
 
 
 def recover_address(message_hash: bytes, signature: Signature, public_key: PublicKey) -> bytes:

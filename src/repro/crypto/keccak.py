@@ -7,13 +7,24 @@ Keccak-f[1600] from the reference specification in pure Python.
 
 The sponge is small enough to be readable and fast enough for the
 simulation workloads in this repository (contract hashing, trie nodes,
-SHA3 opcodes).  Results for frequently re-hashed byte strings are memoised
-by :func:`keccak256` through a bounded cache.
+SHA3 opcodes).  Results for frequently re-hashed byte strings are
+memoised by :func:`keccak256` through a bounded cache with explicit
+hit/miss accounting (:func:`keccak_memo_stats`).
+
+The actual permutation work is delegated to a pluggable *engine*
+(:func:`set_keccak_engine`): the default is the pure-Python sponge
+below; the registered crypto backends (:mod:`repro.crypto.backend`)
+install faster engines — notably the lane-wise numpy batch engine in
+:mod:`repro.crypto.keccak_numpy`, which :func:`keccak256_many` uses to
+hash many independent inputs per permutation sweep.  Every engine is
+byte-identical to the sponge (gated by tests and perf-bench), so the
+choice never changes a digest, only wall clock.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from collections import OrderedDict
+from dataclasses import dataclass
 
 _MASK64 = (1 << 64) - 1
 
@@ -80,6 +91,15 @@ def _keccak_f1600(lanes: list[int]) -> None:
         lanes[0] ^= round_constant
 
 
+def pad_keccak(data: bytes) -> bytes:
+    """Multi-rate pad ``data`` to a whole number of 136-byte blocks."""
+    padded = bytearray(data)
+    padded.append(0x01)
+    padded.extend(b"\x00" * (-len(padded) % _RATE_BYTES))
+    padded[-1] ^= 0x80
+    return bytes(padded)
+
+
 class Keccak256:
     """Incremental Keccak-256 hasher with a hashlib-like interface."""
 
@@ -123,20 +143,151 @@ class Keccak256:
         return self.digest().hex()
 
 
-@lru_cache(maxsize=65536)
-def _keccak256_cached(data: bytes) -> bytes:
-    return Keccak256(data).digest()
+# ---------------------------------------------------------------------------
+# Engine seam: who actually runs the permutation.
+# ---------------------------------------------------------------------------
 
 
-@lru_cache(maxsize=256)
-def _keccak256_cached_large(data: bytes) -> bytes:
-    # Separate small cache for big inputs (contract bytecode gets
-    # re-hashed on every state commit; 256 entries bound the memory).
-    return Keccak256(data).digest()
+class SpongeKeccakEngine:
+    """The reference engine: the pure-Python sponge, one input at a time."""
+
+    name = "sponge"
+
+    def hash_one(self, data: bytes) -> bytes:
+        return Keccak256(data).digest()
+
+    def hash_many(self, items: list[bytes]) -> list[bytes]:
+        return [Keccak256(data).digest() for data in items]
+
+
+_ENGINE = SpongeKeccakEngine()
+
+
+def keccak_engine():
+    """Return the currently installed Keccak engine."""
+    return _ENGINE
+
+
+def set_keccak_engine(engine) -> None:
+    """Install ``engine`` (``hash_one``/``hash_many``) as the active engine.
+
+    Engines must be byte-identical to :class:`SpongeKeccakEngine`; the
+    crypto-backend registry is the supported way to switch
+    (:func:`repro.crypto.backend.activate`).
+    """
+    global _ENGINE
+    _ENGINE = engine
+
+
+# ---------------------------------------------------------------------------
+# Bounded memo cache with explicit accounting.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KeccakMemoStats:
+    """Host-process memo accounting (diagnostics, never protocol bytes)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+# Small inputs (trie nodes, addresses, opcodes) share a deep cache; big
+# inputs (contract bytecode re-hashed on every state commit) get a
+# shallow one so memory stays bounded.
+_SMALL_LIMIT = 1024
+_SMALL_CAPACITY = 65536
+_LARGE_CAPACITY = 256
+
+_small_cache: OrderedDict[bytes, bytes] = OrderedDict()
+_large_cache: OrderedDict[bytes, bytes] = OrderedDict()
+_memo_stats = KeccakMemoStats()
+
+
+def keccak_memo_stats() -> KeccakMemoStats:
+    """Cumulative hit/miss counters for the :func:`keccak256` memo."""
+    return _memo_stats
+
+
+def reset_keccak_memo() -> None:
+    """Drop all memoised digests and zero the counters (benchmarks)."""
+    _small_cache.clear()
+    _large_cache.clear()
+    _memo_stats.hits = 0
+    _memo_stats.misses = 0
+
+
+def _cache_for(data: bytes) -> tuple[OrderedDict[bytes, bytes], int]:
+    if len(data) <= _SMALL_LIMIT:
+        return _small_cache, _SMALL_CAPACITY
+    return _large_cache, _LARGE_CAPACITY
+
+
+def _memo_put(cache: OrderedDict[bytes, bytes], capacity: int,
+              data: bytes, digest: bytes) -> None:
+    cache[data] = digest
+    if len(cache) > capacity:
+        cache.popitem(last=False)
 
 
 def keccak256(data: bytes) -> bytes:
     """Return the Keccak-256 digest of ``data`` (Ethereum's hash function)."""
-    if len(data) <= 1024:
-        return _keccak256_cached(bytes(data))
-    return _keccak256_cached_large(bytes(data))
+    data = bytes(data)
+    cache, capacity = _cache_for(data)
+    cached = cache.get(data)
+    if cached is not None:
+        cache.move_to_end(data)
+        _memo_stats.hits += 1
+        return cached
+    _memo_stats.misses += 1
+    digest = _ENGINE.hash_one(data)
+    _memo_put(cache, capacity, data, digest)
+    return digest
+
+
+def keccak256_many(items: list[bytes]) -> list[bytes]:
+    """Hash many independent inputs, batching misses through the engine.
+
+    The batch seam behind trie commits and sync-root computation: memo
+    hits are served directly, and the remaining inputs go to the active
+    engine's ``hash_many`` in one call — which the numpy engine turns
+    into lane-parallel permutation sweeps.  Byte-identical to calling
+    :func:`keccak256` in a loop (property-tested).
+    """
+    out: list[bytes | None] = []
+    misses: list[bytes] = []
+    miss_slots: dict[bytes, list[int]] = {}
+    for index, raw in enumerate(items):
+        data = bytes(raw)
+        cache, _capacity = _cache_for(data)
+        cached = cache.get(data)
+        if cached is not None:
+            cache.move_to_end(data)
+            _memo_stats.hits += 1
+            out.append(cached)
+            continue
+        _memo_stats.misses += 1
+        out.append(None)
+        slots = miss_slots.get(data)
+        if slots is None:
+            miss_slots[data] = [index]
+            misses.append(data)  # hash each distinct miss once
+        else:
+            slots.append(index)
+    if misses:
+        digests = _ENGINE.hash_many(misses)
+        for data, digest in zip(misses, digests):
+            cache, capacity = _cache_for(data)
+            _memo_put(cache, capacity, data, digest)
+            for slot in miss_slots[data]:
+                out[slot] = digest
+    return out  # type: ignore[return-value]

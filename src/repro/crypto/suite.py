@@ -87,6 +87,61 @@ class AesGcmAead:
         return self._gcm.open_blocks(items)
 
 
+try:  # Optional acceleration: OpenSSL-backed AES-GCM via ``cryptography``.
+    from cryptography.exceptions import InvalidTag as _InvalidTag
+    from cryptography.hazmat.primitives.ciphers.aead import AESGCM as _OpensslAesGcm
+
+    HAVE_OPENSSL_AESGCM = True
+except ImportError:  # pragma: no cover - container without cryptography
+    _InvalidTag = None
+    _OpensslAesGcm = None
+    HAVE_OPENSSL_AESGCM = False
+
+
+class AcceleratedAesGcmAead:
+    """AES-GCM through OpenSSL (the ``hashlib``/stdlib-accelerated tier).
+
+    Wire-identical to :class:`AesGcmAead` — same ``ciphertext || tag``
+    layout, same 12-byte nonces, same accept/reject decisions — which
+    perf-bench's pairwise backend identity gate enforces on every run.
+    Only constructable when the :mod:`cryptography` package is present;
+    :func:`repro.crypto.backend.get_backend` falls back to the numpy
+    engine otherwise.
+    """
+
+    nonce_size = 12
+    tag_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if not HAVE_OPENSSL_AESGCM:  # pragma: no cover - gated at registry
+            raise RuntimeError("cryptography package not available")
+        self._aead = _OpensslAesGcm(key)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        if len(nonce) != self.nonce_size:
+            raise ValueError("nonce must be 12 bytes")
+        return self._aead.encrypt(nonce, plaintext, aad)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        if len(nonce) != self.nonce_size:
+            raise ValueError("nonce must be 12 bytes")
+        if len(data) < self.tag_size:
+            raise AuthenticationError("message shorter than a tag")
+        try:
+            return self._aead.decrypt(nonce, data, aad)
+        except _InvalidTag as exc:
+            raise AuthenticationError("tag mismatch") from exc
+
+    def seal_blocks(self, items: list[AeadItem]) -> list[bytes]:
+        return [self.encrypt(nonce, pt, aad) for nonce, pt, aad in items]
+
+    def open_blocks(self, items: list[AeadItem]) -> list[bytes]:
+        # One authenticated decrypt per item: any bad tag raises before
+        # the list is returned, so no caller ever sees a partial batch —
+        # the same externally visible contract as the GCM batch path.
+        return [self.decrypt(nonce, data, aad) for nonce, data, aad in items]
+
+
 class Blake2Aead:
     """Fast AEAD: BLAKE2b keystream (counter mode) + keyed-BLAKE2b tag.
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.gcm import AuthenticationError
 from repro.crypto.kdf import Drbg
+from repro.crypto.keccak import keccak_memo_stats
 from repro.crypto.suite import AeadCipher, Blake2Aead, open_blocks, seal_blocks
 from repro.oram.server import OramServer, OramServerStall
 from repro.perf.memo import MemoizedAead
@@ -80,6 +81,10 @@ class AccessSummary:
     stash_blocks: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    # Process-global keccak256 memo activity during this access (same
+    # diagnostics-only caveat as the AEAD memo counters above).
+    keccak_hits: int = 0
+    keccak_misses: int = 0
 
 
 class StashOverflow(Exception):
@@ -266,6 +271,9 @@ class PathOramClient:
         stall_us_before = self.stats.stall_us_absorbed
         memo_hits_before = self.memo.stats.hits if self.memo else 0
         memo_misses_before = self.memo.stats.misses if self.memo else 0
+        keccak_before = keccak_memo_stats()
+        keccak_hits_before = keccak_before.hits
+        keccak_misses_before = keccak_before.misses
         leaf_count = self.server.leaf_count
 
         sink = self.recovery
@@ -362,6 +370,8 @@ class PathOramClient:
             memo_misses=(
                 self.memo.stats.misses - memo_misses_before
             ) if self.memo else 0,
+            keccak_hits=keccak_memo_stats().hits - keccak_hits_before,
+            keccak_misses=keccak_memo_stats().misses - keccak_misses_before,
         )
         return result
 

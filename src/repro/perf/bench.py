@@ -39,8 +39,12 @@ from repro.oram.server import OramServer, PathAccessEvent
 from repro.perf.reference import ReferenceAesGcm
 
 # Source-path → telemetry critical-path layer.  Order matters: first
-# match wins (crypto before oram, since the ORAM client calls into it).
+# match wins (the keccak/ecc/trie buckets before the generic crypto
+# rule, crypto before oram since the ORAM client calls into it).
 _LAYER_RULES = (
+    ("/crypto/keccak", "keccak"),  # sponge + lane-wise engines
+    ("/crypto/ecc", "ecdsa"),
+    ("/trie/", "trie"),
     ("/crypto/", "encryption"),
     ("/perf/", "encryption"),  # memo + batch dispatch sit on the crypto path
     ("/oram/", "oram_storage"),
@@ -68,11 +72,25 @@ class PerfBenchConfig:
     working_set: int = 24
     memo_blocks: int = 4096
     min_speedup: float = 3.0
+    # Shape of the trie/keccak/ECDSA workload each registered crypto
+    # backend replays for the pairwise byte-identity gate.
+    trie_keys: int = 96
+    trie_commit_rounds: int = 4
+    hash_batch: int = 600
+    channel_messages: int = 12
 
     @classmethod
     def smoke(cls, **overrides) -> "PerfBenchConfig":
         """A CI-sized run: same checks, fraction of the wall clock."""
-        defaults = dict(oram_height=4, accesses=16, working_set=8)
+        defaults = dict(
+            oram_height=4,
+            accesses=16,
+            working_set=8,
+            trie_keys=32,
+            trie_commit_rounds=2,
+            hash_batch=160,
+            channel_messages=6,
+        )
         defaults.update(overrides)
         return cls(**defaults)
 
@@ -90,6 +108,19 @@ class SideResult:
 
 
 @dataclass
+class BackendSideResult:
+    """One registered :class:`~repro.crypto.backend.CryptoBackend` tier's
+    run of the trie/keccak/ECDSA workload."""
+
+    backend: str
+    wall_s: float
+    layer_seconds: dict[str, float]
+    digests: dict[str, str]
+    keccak_hits: int = 0
+    keccak_misses: int = 0
+
+
+@dataclass
 class PerfBenchReport:
     config: PerfBenchConfig
     baseline: SideResult
@@ -97,10 +128,32 @@ class PerfBenchReport:
     identical: bool = False
     speedup: float = 0.0
     mismatches: list[str] = field(default_factory=list)
+    # The per-CryptoBackend tier comparison: every registered backend
+    # replays one seeded trie/keccak/ECDSA workload; all pairs must be
+    # byte-identical and the best tier must clear the speedup gate
+    # against the pure-Python reference.
+    backends: list[BackendSideResult] = field(default_factory=list)
+    backend_mismatches: list[str] = field(default_factory=list)
+    backend_speedups: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def backends_identical(self) -> bool:
+        return not self.backend_mismatches
+
+    @property
+    def best_backend_speedup(self) -> float:
+        return max(self.backend_speedups.values(), default=0.0)
 
     @property
     def passed(self) -> bool:
-        return self.identical and self.speedup >= self.config.min_speedup
+        gate = self.identical and self.speedup >= self.config.min_speedup
+        if self.backends:
+            gate = (
+                gate
+                and self.backends_identical
+                and self.best_backend_speedup >= self.config.min_speedup
+            )
+        return gate
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -127,6 +180,28 @@ class PerfBenchReport:
             before = self.baseline.layer_seconds.get(layer, 0.0)
             after = self.optimized.layer_seconds.get(layer, 0.0)
             lines.append(f"    {layer:<14} {before:8.3f} -> {after:8.3f}")
+        if self.backends:
+            lines.append(
+                f"  crypto backends ({self.config.trie_keys} trie keys x "
+                f"{self.config.trie_commit_rounds} commits, "
+                f"{self.config.hash_batch} batch hashes, "
+                f"{self.config.channel_messages} signed messages):"
+            )
+            for side in self.backends:
+                speedup = self.backend_speedups.get(side.backend, 1.0)
+                lines.append(
+                    f"    {side.backend:<10} {side.wall_s:8.3f} s "
+                    f"({speedup:5.1f}x vs reference)"
+                )
+            lines.append(
+                "  backend outputs pairwise byte-identical: "
+                + ("yes" if self.backends_identical else "NO")
+                + (
+                    f" (mismatched: {', '.join(self.backend_mismatches)})"
+                    if self.backend_mismatches
+                    else ""
+                )
+            )
         return lines
 
     def to_json(self) -> str:
@@ -142,6 +217,19 @@ class PerfBenchReport:
                 "memo_misses": result.memo_misses,
             }
 
+        def backend_side(result: BackendSideResult) -> dict:
+            return {
+                "backend": result.backend,
+                "wall_s": round(result.wall_s, 4),
+                "layer_seconds": {
+                    layer: round(seconds, 4)
+                    for layer, seconds in sorted(result.layer_seconds.items())
+                },
+                "digests": result.digests,
+                "keccak_hits": result.keccak_hits,
+                "keccak_misses": result.keccak_misses,
+            }
+
         return json.dumps(
             {
                 "bench": "perf",
@@ -153,12 +241,22 @@ class PerfBenchReport:
                     "working_set": self.config.working_set,
                     "memo_blocks": self.config.memo_blocks,
                     "cipher": "aes-gcm",
+                    "trie_keys": self.config.trie_keys,
+                    "trie_commit_rounds": self.config.trie_commit_rounds,
+                    "hash_batch": self.config.hash_batch,
+                    "channel_messages": self.config.channel_messages,
                 },
                 "baseline": side(self.baseline),
                 "optimized": side(self.optimized),
                 "speedup": round(self.speedup, 2),
                 "min_speedup": self.config.min_speedup,
                 "identical_outputs": self.identical,
+                "backends": [backend_side(b) for b in self.backends],
+                "backend_speedups": {
+                    name: round(value, 2)
+                    for name, value in sorted(self.backend_speedups.items())
+                },
+                "backends_identical": self.backends_identical,
                 "passed": self.passed,
             },
             indent=2,
@@ -249,7 +347,154 @@ def _run_side(config: PerfBenchConfig, optimized: bool) -> SideResult:
     )
 
 
+def _run_backend_side(config: PerfBenchConfig, name: str) -> BackendSideResult:
+    """Replay the seeded trie/keccak/ECDSA workload under one backend.
+
+    Signing and sealing run *untimed*: RFC 6979 signing is the same
+    deterministic pure-Python code under every tier, so timing it would
+    only dilute the measured difference.  The timed region is what the
+    tiers actually accelerate — trie commits, batch hashing, and
+    signature-checked channel opens.
+    """
+    from repro.crypto.backend import activate, active_backend
+    from repro.crypto.ecc import PrivateKey
+    from repro.crypto.keccak import (
+        keccak256_many,
+        keccak_memo_stats,
+        reset_keccak_memo,
+    )
+    from repro.hypervisor.channel import SecureChannel
+    from repro.trie.mpt import MerklePatriciaTrie
+
+    previous = active_backend().name
+    activate(name)
+    # Each tier starts memo-cold so cached digests from an earlier tier
+    # can't subsidize (or mask a divergence in) this one.
+    reset_keccak_memo()
+    try:
+        rng = Drbg(config.seed.to_bytes(8, "big"), personalization=b"perf-backend")
+        pairs = [
+            (
+                b"acct-%06d" % rng.randint(1 << 20),
+                bytes([rng.randint(256)]) * (1 + rng.randint(96)),
+            )
+            for _ in range(config.trie_keys)
+        ]
+        hash_items = [
+            bytes([rng.randint(256)]) * (1 + rng.randint(200))
+            for _ in range(config.hash_batch)
+        ]
+        payloads = [
+            bytes([rng.randint(256)]) * (32 + rng.randint(160))
+            for _ in range(config.channel_messages)
+        ]
+
+        # Untimed setup: channel construction (per-key verifier tables
+        # are amortized precomputation) and seal/sign on the sender.
+        session_key = hashlib.blake2b(
+            config.seed.to_bytes(8, "big"), digest_size=32, person=b"bknd-key"
+        ).digest()
+        sealer_key = PrivateKey.from_bytes(b"\x11" * 31 + b"\x01")
+        opener_key = PrivateKey.from_bytes(b"\x22" * 31 + b"\x02")
+        sealer = SecureChannel(
+            session_key, own_signing_key=sealer_key,
+            peer_verify_key=opener_key.public_key(), backend=name,
+        )
+        opener = SecureChannel(
+            session_key, own_signing_key=opener_key,
+            peer_verify_key=sealer_key.public_key(), backend=name,
+        )
+        sealed = [sealer.seal(payload) for payload in payloads]
+
+        trie = MerklePatriciaTrie()
+        rounds = max(1, config.trie_commit_rounds)
+        per_round = max(1, len(pairs) // rounds)
+        roots: list[bytes] = []
+        opened: list[bytes] = []
+
+        profile = cProfile.Profile()
+        started = time.perf_counter()
+        profile.enable()
+        for round_index in range(rounds):
+            for key, value in pairs[round_index * per_round:(round_index + 1) * per_round]:
+                trie.put(key, value)
+            roots.append(trie.root_hash())
+        batch_digests = keccak256_many(hash_items)
+        half = len(sealed) // 2
+        opened.extend(opener.open_batch(sealed[:half]))
+        for message in sealed[half:]:
+            opened.append(opener.open(message))
+        profile.disable()
+        wall_s = time.perf_counter() - started
+
+        layer_seconds: dict[str, float] = {}
+        stats = pstats.Stats(profile)
+        for (filename, _line, _name), row in stats.stats.items():  # type: ignore[attr-defined]
+            tottime = row[2]
+            if tottime <= 0.0:
+                continue
+            layer = _layer_for(filename)
+            layer_seconds[layer] = layer_seconds.get(layer, 0.0) + tottime
+
+        def digest(chunks: list[bytes]) -> str:
+            acc = hashlib.blake2b(digest_size=16)
+            for chunk in chunks:
+                acc.update(len(chunk).to_bytes(4, "big"))
+                acc.update(chunk)
+            return acc.hexdigest()
+
+        wire = [
+            message.nonce + message.ciphertext + (
+                message.signature.to_bytes() if message.signature else b""
+            )
+            for message in sealed
+        ]
+        memo = keccak_memo_stats()
+        return BackendSideResult(
+            backend=name,
+            wall_s=wall_s,
+            layer_seconds=layer_seconds,
+            digests={
+                "trie_roots": digest(roots),
+                "batch_hashes": digest(batch_digests),
+                "channel_wire": digest(wire),
+                "channel_plaintexts": digest(opened),
+            },
+            keccak_hits=memo.hits,
+            keccak_misses=memo.misses,
+        )
+    finally:
+        activate(previous)
+
+
+def _compare_backends(
+    sides: list[BackendSideResult],
+) -> tuple[list[str], dict[str, float]]:
+    """Pairwise byte-identity mismatches and wall-clock speedups vs the
+    pure-Python reference tier."""
+    mismatches: list[str] = []
+    for i, left in enumerate(sides):
+        for right in sides[i + 1:]:
+            for key in left.digests:
+                if left.digests[key] != right.digests.get(key):
+                    mismatches.append(
+                        f"{left.backend} vs {right.backend}: {key}"
+                    )
+    reference = next(
+        (side for side in sides if side.backend == "reference"), sides[0]
+    )
+    speedups = {
+        side.backend: (
+            reference.wall_s / side.wall_s if side.wall_s > 0 else float("inf")
+        )
+        for side in sides
+    }
+    return mismatches, speedups
+
+
 def run_perf_bench(config: PerfBenchConfig | None = None) -> PerfBenchReport:
+    from repro.crypto.backend import available_backends
+
     config = config or PerfBenchConfig()
     baseline = _run_side(config, optimized=False)
     optimized = _run_side(config, optimized=True)
@@ -261,6 +506,10 @@ def run_perf_bench(config: PerfBenchConfig | None = None) -> PerfBenchReport:
     speedup = (
         baseline.wall_s / optimized.wall_s if optimized.wall_s > 0 else float("inf")
     )
+    backend_sides = [
+        _run_backend_side(config, name) for name in available_backends()
+    ]
+    backend_mismatches, backend_speedups = _compare_backends(backend_sides)
     return PerfBenchReport(
         config=config,
         baseline=baseline,
@@ -268,4 +517,7 @@ def run_perf_bench(config: PerfBenchConfig | None = None) -> PerfBenchReport:
         identical=not mismatches,
         speedup=speedup,
         mismatches=mismatches,
+        backends=backend_sides,
+        backend_mismatches=backend_mismatches,
+        backend_speedups=backend_speedups,
     )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.core.device import DeviceConfig
 from repro.core.service import HarDTAPEService
+from repro.crypto.keccak import keccak_memo_stats
 from repro.core.user import PreExecutionClient
 from repro.hypervisor.bundle_codec import TransactionBundle, encode_bundle
 from repro.hypervisor.hypervisor import SecurityFeatures
@@ -98,6 +99,10 @@ class TraceBenchReport:
     # byte-identical on the wire.
     memo_hits: int = 0
     memo_misses: int = 0
+    # keccak256 memo activity during this run (repro.crypto.keccak) —
+    # same host-process-only caveat, same exclusion from exports.
+    keccak_hits: int = 0
+    keccak_misses: int = 0
 
     @property
     def max_reconciliation_error_us(self) -> float:
@@ -134,6 +139,13 @@ class TraceBenchReport:
             lines.append(
                 f"oram decrypt memo: {self.memo_hits}/{lookups} hits "
                 f"({self.memo_hits / lookups:.0%}; host-process cache, "
+                "not simulated time)"
+            )
+        if self.keccak_hits or self.keccak_misses:
+            lookups = self.keccak_hits + self.keccak_misses
+            lines.append(
+                f"keccak256 memo: {self.keccak_hits}/{lookups} hits "
+                f"({self.keccak_hits / lookups:.0%}; host-process cache, "
                 "not simulated time)"
             )
         return lines
@@ -184,6 +196,9 @@ def run_trace_bench(config: TraceBenchConfig, evalset) -> TraceBenchReport:
     tracer = install_tracer(
         service.clock, TraceSampler(config.sample_rate, config.seed)
     )
+    keccak_before = keccak_memo_stats()
+    keccak_hits_before = keccak_before.hits
+    keccak_misses_before = keccak_before.misses
     try:
         metrics = MetricsRegistry()
         transactions = evalset.transactions
@@ -257,6 +272,8 @@ def run_trace_bench(config: TraceBenchConfig, evalset) -> TraceBenchReport:
             prometheus_text=render_prometheus(metrics, layer_totals=buckets),
             memo_hits=memo_hits,
             memo_misses=memo_misses,
+            keccak_hits=keccak_memo_stats().hits - keccak_hits_before,
+            keccak_misses=keccak_memo_stats().misses - keccak_misses_before,
         )
     finally:
         uninstall_tracer(service.clock)

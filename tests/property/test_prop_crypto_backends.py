@@ -1,0 +1,132 @@
+"""Properties of the CryptoBackend tier: batch == sequential, always.
+
+Every accelerated path must be an *exact rewrite* of the reference one:
+batch keccak equals a loop of scalar sponges, batched ECDSA equals a
+loop of single verifies (including which failures it raises), the
+precomputed scalar multiplication equals the textbook double-and-add,
+and ``SecureChannel.open_batch`` equals a sequential ``open`` loop.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ecc
+from repro.crypto.backend import available_backends, get_backend
+from repro.crypto.ecc import InvalidSignature, PrivateKey, Signature
+from repro.crypto.keccak import Keccak256, keccak256, keccak256_many
+from repro.hypervisor.channel import ChannelError, SecureChannel
+
+settings.register_profile("crypto_backends", deadline=None)
+settings.load_profile("crypto_backends")
+
+# ECDSA over pure-Python secp256k1 costs tens of ms per scalar multiply;
+# fixed keys + few examples keep the suite fast without losing the
+# property (the varying part is the data, not the key).
+_SIGNER = PrivateKey.from_bytes(b"\x5a" * 31 + b"\x01")
+_OPENER = PrivateKey.from_bytes(b"\xa5" * 31 + b"\x02")
+
+
+@given(st.lists(st.binary(max_size=400), max_size=12))
+def test_batch_keccak_equals_sequential(items):
+    expected = [Keccak256(item).digest() for item in items]
+    assert keccak256_many(items) == expected
+    for name in available_backends():
+        assert get_backend(name).keccak_engine().hash_many(items) == expected
+
+
+@given(st.binary(max_size=600))
+def test_every_engine_matches_scalar_sponge(data):
+    expected = Keccak256(data).digest()
+    assert keccak256(data) == expected
+    for name in available_backends():
+        assert get_backend(name).keccak_engine().hash_one(data) == expected
+
+
+@settings(max_examples=15)
+@given(st.integers(min_value=1, max_value=ecc.N - 1))
+def test_fixed_base_mul_equals_double_and_add(k):
+    assert ecc.fixed_base_mul(k) == ecc._scalar_mul(k, ecc.G)
+
+
+@settings(max_examples=6)
+@given(st.lists(st.binary(min_size=32, max_size=32), min_size=1, max_size=3))
+def test_batch_ecdsa_verify_equals_sequential(digests):
+    public = _SIGNER.public_key()
+    triples = [
+        (public, digest, _SIGNER.sign(digest)) for digest in digests
+    ]
+    for name in available_backends():
+        get_backend(name).ecdsa_verify_many(triples)  # must not raise
+    # Flip one signature: every backend must reject, exactly like the
+    # sequential reference loop does.
+    _pk, digest, good = triples[0]
+    bad = Signature(r=good.r, s=(good.s + 1) % ecc.N or 1)
+    tampered = [(public, digest, bad)] + triples[1:]
+    with pytest.raises(InvalidSignature):
+        public.verify(digest, bad)
+    for name in available_backends():
+        with pytest.raises(InvalidSignature):
+            get_backend(name).ecdsa_verify_many(tampered)
+
+
+@settings(max_examples=6)
+@given(
+    st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=4),
+    st.sampled_from(["numpy", "hashlib"]),
+)
+def test_open_batch_equals_sequential_open(payloads, backend_name):
+    session_key = bytes(range(32))
+
+    def channel_pair():
+        sealer = SecureChannel(
+            session_key,
+            own_signing_key=_SIGNER,
+            peer_verify_key=_OPENER.public_key(),
+            backend=backend_name,
+        )
+        opener = SecureChannel(
+            session_key,
+            own_signing_key=_OPENER,
+            peer_verify_key=_SIGNER.public_key(),
+            backend=backend_name,
+        )
+        return sealer, opener
+
+    sealer, batch_opener = channel_pair()
+    sealed = [sealer.seal(payload) for payload in payloads]
+    assert batch_opener.open_batch(sealed) == payloads
+
+    _sealer, loop_opener = channel_pair()
+    assert [loop_opener.open(message) for message in sealed] == payloads
+    assert (
+        batch_opener.nonce_watermark == loop_opener.nonce_watermark
+    )
+
+
+def test_open_batch_rejects_before_releasing_any_plaintext():
+    session_key = bytes(range(32))
+    sealer = SecureChannel(
+        session_key,
+        own_signing_key=_SIGNER,
+        peer_verify_key=_OPENER.public_key(),
+        backend="numpy",
+    )
+    opener = SecureChannel(
+        session_key,
+        own_signing_key=_OPENER,
+        peer_verify_key=_SIGNER.public_key(),
+        backend="numpy",
+    )
+    sealed = [sealer.seal(b"msg-%d" % i) for i in range(3)]
+    good = sealed[-1]
+    forged = type(good)(
+        nonce=good.nonce,
+        ciphertext=good.ciphertext,
+        signature=Signature(r=good.signature.r, s=(good.signature.s + 1) % ecc.N or 1),
+    )
+    with pytest.raises(ChannelError):
+        opener.open_batch(sealed[:-1] + [forged])
+    # The bad signature aborted the batch before any decrypt: the
+    # replay watermark never moved, so the full valid batch still opens.
+    assert opener.nonce_watermark == (0, 0)
+    assert opener.open_batch(sealed) == [b"msg-0", b"msg-1", b"msg-2"]

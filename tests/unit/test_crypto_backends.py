@@ -1,0 +1,174 @@
+"""The pluggable CryptoBackend tier: registry, validation, identity.
+
+Every registered backend must be a drop-in for every other one — same
+Keccak digests, same AEAD wire bytes, same ECDSA verdicts.  These tests
+pin that invariant with known-answer vectors and cross-backend checks;
+the perf plane (``perf-bench``) additionally gates whole-workload
+byte-identity pairwise.
+"""
+
+import pytest
+
+from repro.core.device import DeviceConfig
+from repro.crypto.backend import (
+    DEFAULT_BACKEND,
+    UnknownBackendError,
+    activate,
+    active_backend,
+    available_backends,
+    get_backend,
+)
+from repro.crypto.keccak import (
+    keccak256,
+    keccak256_many,
+    keccak_memo_stats,
+    reset_keccak_memo,
+)
+
+# Ethereum Keccak-256 known answers (0x01 multi-rate padding, not NIST
+# SHA3).  The first two are the canonical published vectors; the
+# 200-byte message spans two rate-sized (136 B) blocks and is pinned
+# against the repo's KAT-validated scalar sponge, so a vectorized
+# engine with a broken multi-block absorb cannot pass.
+KNOWN_VECTORS = [
+    (b"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"),
+    (b"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"),
+    (
+        b"\xa3" * 200,
+        "3a57666b048777f2c953dc4456f45a2588e1cb6f2da760122d530ac2ce607d4a",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Registry + DeviceConfig validation
+# ---------------------------------------------------------------------------
+
+
+def test_registry_lists_all_three_tiers():
+    assert set(available_backends()) == {"reference", "numpy", "hashlib"}
+    for name in available_backends():
+        assert get_backend(name).name == name
+
+
+def test_unknown_backend_is_typed():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        get_backend("gpu")
+    assert excinfo.value.kind == "crypto"
+    assert excinfo.value.name == "gpu"
+    assert "reference" in str(excinfo.value)
+
+
+def test_device_config_rejects_unknown_crypto_backend():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        DeviceConfig(crypto_backend="quantum")
+    assert excinfo.value.kind == "crypto"
+
+
+def test_device_config_rejects_unknown_oram_backend():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        DeviceConfig(oram_backend="cuckoo")
+    assert excinfo.value.kind == "oram"
+    assert "path" in str(excinfo.value)
+
+
+def test_device_config_accepts_every_registered_backend():
+    for name in available_backends():
+        assert DeviceConfig(crypto_backend=name).crypto_backend == name
+
+
+def test_activate_roundtrip():
+    before = active_backend().name
+    try:
+        activate("reference")
+        assert active_backend().name == "reference"
+    finally:
+        activate(before)
+    assert active_backend().name == before
+
+
+def test_default_backend_is_registered():
+    assert DEFAULT_BACKEND in available_backends()
+
+
+# ---------------------------------------------------------------------------
+# Keccak known answers, per backend engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", ["reference", "numpy", "hashlib"])
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+def test_keccak_kat_per_backend_engine(backend_name, message, expected):
+    engine = get_backend(backend_name).keccak_engine()
+    assert engine.hash_one(message).hex() == expected
+    # Bury the vector inside a mixed batch so the lane-wise engines
+    # cannot pass via a scalar fallback alone.
+    batch = [b"filler-%d" % i for i in range(7)] + [message] * 3
+    digests = engine.hash_many(batch)
+    assert [d.hex() for d in digests[-3:]] == [expected] * 3
+    assert digests[0] == keccak256(b"filler-0")
+
+
+@pytest.mark.parametrize("backend_name", ["reference", "numpy", "hashlib"])
+def test_keccak256_under_each_activated_backend(backend_name):
+    before = active_backend().name
+    try:
+        activate(backend_name)
+        reset_keccak_memo()
+        for message, expected in KNOWN_VECTORS:
+            assert keccak256(message).hex() == expected
+    finally:
+        activate(before)
+
+
+# ---------------------------------------------------------------------------
+# AEAD wire identity across backends
+# ---------------------------------------------------------------------------
+
+
+def test_aead_wire_bytes_identical_across_backends():
+    key = bytes(range(32))
+    nonce = b"\x00" * 11 + b"\x07"
+    plaintext = b"pre-execution trace report" * 9
+    aad = b"session-42"
+    blobs = {
+        name: get_backend(name).aead_factory(key).encrypt(nonce, plaintext, aad)
+        for name in available_backends()
+    }
+    assert len(set(blobs.values())) == 1, blobs.keys()
+    for name, blob in blobs.items():
+        assert (
+            get_backend(name).aead_factory(key).decrypt(nonce, blob, aad)
+            == plaintext
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memo counters
+# ---------------------------------------------------------------------------
+
+
+def test_keccak_memo_counters_track_hits_and_misses():
+    reset_keccak_memo()
+    keccak256(b"counter-probe")
+    keccak256(b"counter-probe")
+    stats = keccak_memo_stats()
+    assert stats.misses == 1
+    assert stats.hits == 1
+    assert stats.lookups == 2
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_keccak256_many_dedupes_within_a_batch():
+    reset_keccak_memo()
+    digests = keccak256_many([b"dup", b"dup", b"only"])
+    assert digests[0] == digests[1] == keccak256(b"dup")
+    assert digests[2] == keccak256(b"only")
+
+
+def test_access_summary_carries_keccak_counters():
+    from repro.oram.client import AccessSummary
+
+    summary = AccessSummary(keccak_hits=3, keccak_misses=1)
+    assert summary.keccak_hits == 3
+    assert summary.keccak_misses == 1
