@@ -15,6 +15,7 @@
     python -m repro.cli shard-bench         # sharded-fleet scale-out gates
     python -m repro.cli c10k-bench          # 10k-session async tier + resumption gates
     python -m repro.cli obs-bench           # observability: identity, reconciliation, alerts
+    python -m repro.cli receipt-bench       # signed receipts: Byzantine detection + quarantine gates
 
 ``serve-bench`` and ``chaos-bench`` accept ``--workers N`` to fan their
 sweep rows across processes (deterministic: results are reduced in
@@ -516,6 +517,34 @@ def cmd_obs_bench(args) -> int:
     return 0
 
 
+def cmd_receipt_bench(args) -> int:
+    from repro.faults.receipt_bench import (
+        ReceiptBenchConfig,
+        run_receipt_bench,
+    )
+
+    if not 0 <= args.seed < 2**64:
+        print(f"invalid --seed {args.seed}: must be a non-negative 64-bit "
+              "integer", file=sys.stderr)
+        return 2
+    if args.smoke:
+        config = ReceiptBenchConfig.smoke(seed=args.seed)
+    else:
+        config = ReceiptBenchConfig(seed=args.seed)
+    report = run_receipt_bench(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_out}")
+    if not report.passed:
+        print("RECEIPT-BENCH FAILED: "
+              + "; ".join(report.gate_failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HarDTAPE reproduction CLI"
@@ -683,6 +712,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs_bench.add_argument("--json-out", default="",
                            help="write the BENCH_obs.json report here")
     obs_bench.set_defaults(func=cmd_obs_bench)
+
+    receipt_bench = sub.add_parser(
+        "receipt-bench",
+        help="signed pre-execution receipts: Byzantine detection, "
+             "quarantine healing, receipts-invisible identity, sublinear "
+             "audit cost (repro.faults)",
+    )
+    receipt_bench.add_argument("--seed", type=int, default=1)
+    receipt_bench.add_argument("--smoke", action="store_true",
+                               help="CI-sized run (same gates, faster)")
+    receipt_bench.add_argument("--json-out", default="",
+                               help="write the BENCH_receipt.json report here")
+    receipt_bench.set_defaults(func=cmd_receipt_bench)
     return parser
 
 

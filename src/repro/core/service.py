@@ -164,7 +164,19 @@ class HarDTAPEService:
             target = self.synced_height + 1
             executed = self.node.block_at(target)
             updates = self.node.sync_updates_for(target)
-            if device.oram_backend is not None:
+            # Byzantine seam (``sync-equivocate``): the device claims the
+            # block was ingested but withholds it from its ORAM.  The
+            # shadow copy and synced height still advance — the lie is
+            # internally consistent — so detection falls to the receipt
+            # audit, which compares pre-execution traces against node
+            # ground truth at the *claimed* height.
+            withheld = (
+                device.hypervisor.faults is not None
+                and device.hypervisor.faults.on_sync_equivocate(
+                    self.clock.now_us
+                )
+            )
+            if device.oram_backend is not None and not withheld:
                 for attempt in range(self.SYNC_RETRY_LIMIT + 1):
                     try:
                         device.hypervisor.sync_block(
@@ -182,6 +194,29 @@ class HarDTAPEService:
             self.stats.blocks_synced += 1
             synced += 1
         return synced
+
+    def repair_sync(self) -> int:
+        """Replay every synced block into the ORAM, unconditionally.
+
+        The quarantine policy's answer to ``sync-equivocate``: after an
+        audit exposes stale pre-execution, replaying the full update
+        history converges the ORAM onto the canonical tip (later blocks
+        rewrite any key an equivocated block touched) and leaves
+        ``last_verified_root`` at the tip's root.  Idempotent — replaying
+        honestly-synced blocks rewrites the same values.
+        """
+        device = self.devices[0]
+        if device.oram_backend is None:
+            return 0
+        replayed = 0
+        for height in range(1, self.synced_height + 1):
+            executed = self.node.block_at(height)
+            updates = self.node.sync_updates_for(height)
+            device.hypervisor.sync_block(
+                executed.block.header.state_root, updates
+            )
+            replayed += 1
+        return replayed
 
     # ------------------------------------------------------------------
     # Session + bundle front door

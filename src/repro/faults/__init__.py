@@ -37,6 +37,10 @@ from repro.faults.errors import (
     HypervisorCrashError,
     OramServerStall,
     OramTimeoutError,
+    QuarantinedDeviceError,
+    ReceiptError,
+    ReceiptMismatchError,
+    ReceiptMissingError,
     RollbackDetectedError,
     SyncError,
     UnknownSessionError,
@@ -54,6 +58,7 @@ from repro.faults.policy import (
     RECOVERABLE_ERRORS,
     CircuitBreaker,
     FailoverBundle,
+    QuarantinePolicy,
     RecoveryOutcome,
     ResilientServiceExecutor,
     RetryPolicy,
@@ -84,6 +89,11 @@ __all__ = [
     "InjectionRecord",
     "OramServerStall",
     "OramTimeoutError",
+    "QuarantinePolicy",
+    "QuarantinedDeviceError",
+    "ReceiptError",
+    "ReceiptMismatchError",
+    "ReceiptMissingError",
     "RecoveryOutcome",
     "RollbackDetectedError",
     "ResilientServiceExecutor",

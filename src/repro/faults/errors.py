@@ -32,6 +32,11 @@ from repro.crypto.gcm import AuthenticationError
 from repro.hypervisor.attestation import AttestationError
 from repro.hypervisor.channel import ChannelError
 from repro.hypervisor.hypervisor import HypervisorCrashError, UnknownSessionError
+from repro.hypervisor.receipts import (
+    ReceiptError,
+    ReceiptMismatchError,
+    ReceiptMissingError,
+)
 from repro.hypervisor.sync import SyncError
 from repro.oram.client import OramTimeoutError, RollbackDetectedError
 from repro.oram.server import OramServerStall
@@ -109,6 +114,24 @@ class BundleFailedError(FaultError):
         self.service_us = service_us
 
 
+class QuarantinedDeviceError(FaultError):
+    """A bundle could not be healed: every candidate device is quarantined.
+
+    The quarantine policy's terminal refusal — raised when an audit
+    failure demands re-execution but no healthy device holds a session
+    for the bundle.  Seals a flight-recorder dump like every other
+    terminal failure.
+    """
+
+    def __init__(self, from_device: int, quarantined: tuple[int, ...]) -> None:
+        super().__init__(
+            f"no healthy failover target for device {from_device}; "
+            f"quarantined devices: {sorted(quarantined)}"
+        )
+        self.from_device = from_device
+        self.quarantined = tuple(quarantined)
+
+
 __all__ = [
     "AttestationError",
     "AuthenticationError",
@@ -122,6 +145,10 @@ __all__ = [
     "HypervisorCrashError",
     "OramServerStall",
     "OramTimeoutError",
+    "QuarantinedDeviceError",
+    "ReceiptError",
+    "ReceiptMismatchError",
+    "ReceiptMissingError",
     "RollbackDetectedError",
     "SyncError",
     "UnknownSessionError",

@@ -77,6 +77,11 @@ class ChaosConfig:
     # OramTimeoutError path rather than silent absorption.
     oram_stall_us: float = 40_000.0
     oram_response_budget_us: float = 25_000.0
+    # Which CryptoBackend tier the fleet's channels run on.  The fault
+    # plane predates the pluggable backends, so the zero-rate identity
+    # gate sweeps every tier (bench_fault_recovery) — a backend that
+    # diverged under injected faults would silently fork the wire.
+    crypto_backend: str | None = None   # None: DeviceConfig's default
 
     def build_plan(self) -> FaultPlan:
         if self.plan is not None:
@@ -157,6 +162,11 @@ def run_chaos(config: ChaosConfig, evalset) -> ChaosReport:
         device_config=DeviceConfig(
             hevm_count=config.hevms_per_device,
             oram_response_budget_us=config.oram_response_budget_us,
+            **(
+                {"crypto_backend": config.crypto_backend}
+                if config.crypto_backend is not None
+                else {}
+            ),
         ),
         charge_fees=False,
     )

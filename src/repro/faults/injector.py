@@ -258,6 +258,74 @@ class FaultInjector:
             return _flip_low_bit(state_root, offset=0)
         return state_root
 
+    # -- Byzantine hooks: the device lies instead of failing ------------
+
+    def on_hevm_result(self, results, struct_logs, now_us: float):
+        """Called with a bundle's execution results before sealing.
+
+        A firing ``hevm-result-tamper`` falsifies the last transaction's
+        gas accounting *and* the matching step-trace entry: the cheating
+        device stays self-consistent (it signs a receipt over the trace
+        it reports), so only comparison against node ground truth — the
+        receipt audit — can expose it.
+        """
+        if self.plan.decide(FaultKind.HEVM_RESULT_TAMPER, now_us) and results:
+            results[-1].gas_used ^= 0x1
+            if struct_logs and struct_logs[-1]:
+                struct_logs[-1][-1].gas ^= 0x1
+            self._fired(
+                FaultKind.HEVM_RESULT_TAMPER,
+                "hypervisor.bundle.result",
+                now_us,
+                "falsified gas accounting of the last transaction",
+            )
+        return results, struct_logs
+
+    def on_receipt(self, receipt, now_us: float):
+        """Called with every signed receipt before it is retained.
+
+        ``receipt-omit`` withholds it entirely (returns ``None``);
+        ``receipt-forge`` perturbs the signature — modeling a device
+        whose signing key does not match its attested session identity.
+        """
+        if self.plan.decide(FaultKind.RECEIPT_OMIT, now_us):
+            self._fired(
+                FaultKind.RECEIPT_OMIT,
+                "hypervisor.bundle.receipt",
+                now_us,
+                "withheld the bundle receipt",
+            )
+            return None
+        if self.plan.decide(FaultKind.RECEIPT_FORGE, now_us):
+            self._fired(
+                FaultKind.RECEIPT_FORGE,
+                "hypervisor.bundle.receipt",
+                now_us,
+                "forged the receipt signature",
+            )
+            bad = Signature(receipt.signature.r ^ 1, receipt.signature.s)
+            return replace(receipt, signature=bad)
+        return receipt
+
+    def on_sync_equivocate(self, now_us: float) -> bool:
+        """Called once per block at the top of ``sync_new_blocks``.
+
+        A firing ``sync-equivocate`` makes the device *withhold* the
+        block from its ORAM: the service's synced height advances but
+        the device keeps pre-executing on stale world state — an
+        internally consistent lie that only ground-truth receipt audits
+        (or diverging world digests) can expose.
+        """
+        if self.plan.decide(FaultKind.SYNC_EQUIVOCATE, now_us):
+            self._fired(
+                FaultKind.SYNC_EQUIVOCATE,
+                "core.service.sync_new_blocks",
+                now_us,
+                "withheld a block from the ORAM sync",
+            )
+            return True
+        return False
+
     # -- encrypted-store hook -------------------------------------------
 
     def on_store_read(self, blob: bytes, now_us: float) -> bytes:

@@ -22,6 +22,22 @@ from dataclasses import dataclass
 from repro.crypto.kdf import Drbg
 
 
+def _derive_all(cls):
+    """Set ``cls.ALL`` to every upper-case string attribute, in
+    definition order.  Keeping the tuple derived (rather than
+    hand-maintained) guarantees a newly declared kind is provisioned a
+    DRBG fork and fire/decision counters — it cannot silently drift out
+    of the plan's maps.  Drbg forks are label-keyed, so appending kinds
+    never shifts the streams of existing ones."""
+    cls.ALL = tuple(
+        value
+        for name, value in vars(cls).items()
+        if name.isupper() and name != "ALL" and isinstance(value, str)
+    )
+    return cls
+
+
+@_derive_all
 class FaultKind:
     """String identities of every injectable fault (stable metric names)."""
 
@@ -34,18 +50,13 @@ class FaultKind:
     ATTESTATION_FAIL = "attestation-fail"  # report tampered before the user
     SYNC_STALE_HEADER = "sync-stale-header"  # Node serves a forked root
     HYPERVISOR_CRASH = "hypervisor-crash"  # whole Hypervisor cold-restarts
+    # Byzantine kinds: the device is not failing, it is *lying*.
+    HEVM_RESULT_TAMPER = "hevm-result-tamper"  # execution result falsified
+    RECEIPT_FORGE = "receipt-forge"        # receipt signed with a bad sig
+    RECEIPT_OMIT = "receipt-omit"          # receipt silently withheld
+    SYNC_EQUIVOCATE = "sync-equivocate"    # block withheld from ORAM sync
 
-    ALL = (
-        DMA_DROP,
-        DMA_DUPLICATE,
-        DMA_CORRUPT,
-        ORAM_TAG_CORRUPT,
-        ORAM_STALL,
-        HEVM_CRASH,
-        ATTESTATION_FAIL,
-        SYNC_STALE_HEADER,
-        HYPERVISOR_CRASH,
-    )
+    ALL: tuple[str, ...]  # derived by @_derive_all
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ unexpected exception is a bug, not a fault to absorb.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.crypto.gcm import AuthenticationError
@@ -38,6 +39,7 @@ from repro.faults.errors import (
     FailedOverError,
     HevmCrashError,
     OramTimeoutError,
+    QuarantinedDeviceError,
 )
 from repro.telemetry.tracer import tracer_for
 
@@ -138,6 +140,16 @@ class CircuitBreaker:
         self._half_open = False
         self._current_reset_us = self.reset_after_us
 
+    def force_open(self, until_us: float = math.inf) -> None:
+        """Open the breaker by decree, bypassing the failure count.
+
+        The quarantine policy's lever: an audit verdict is proof of a
+        lying device, so the breaker opens immediately and — by default —
+        indefinitely; only an explicit quarantine release closes it.
+        """
+        self._half_open = False
+        self._open_until_us = until_us
+
     def record_failure(self, now_us: float) -> None:
         if self._half_open:
             # The trial call failed: re-open immediately with a doubled
@@ -206,6 +218,189 @@ class FailoverBundle:
         return sealed_out
 
 
+class QuarantinePolicy:
+    """Trust-but-verify enforcement: isolate provably lying devices.
+
+    A failed receipt audit is not a transient fault — it is evidence.
+    The policy's response, in order: **quarantine** the device (set
+    membership, metrics, indefinite ``force_open`` on every bound
+    executor's breaker, flight-recorder seal), **repair** shared trust
+    state if the lie was an equivocated sync (full update replay via
+    ``service.repair_sync``), and **heal** the victim bundle by
+    re-executing it on a healthy device the tenant holds a session on.
+    The serving planes keep running degraded: quarantined devices'
+    slots are skipped and overflow sheds with a typed
+    ``quarantined-capacity`` reason instead of queueing forever.
+
+    Deterministic and metrics-only on the happy path: a bound policy
+    with nothing quarantined touches neither clock nor randomness, so
+    clean runs stay byte-identical.
+    """
+
+    def __init__(self, service, metrics=None, flight=None) -> None:
+        self.service = service
+        self._metrics = metrics
+        self._flight = flight
+        self.quarantined: set[int] = set()
+        self._executors: list = []
+        self.quarantines = 0
+        self.releases = 0
+        self.heals = 0
+        self.resyncs = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind(self, executor) -> "QuarantinePolicy":
+        """Attach to an executor: its breakers become our enforcement."""
+        executor.quarantine = self
+        self._executors.append(executor)
+        return self
+
+    # -- predicates -----------------------------------------------------
+
+    def is_quarantined(self, device_index: int) -> bool:
+        return device_index in self.quarantined
+
+    @property
+    def any_quarantined(self) -> bool:
+        return bool(self.quarantined)
+
+    def healthy_indices(self) -> list[int]:
+        return [
+            index
+            for index in range(len(self.service.devices))
+            if index not in self.quarantined
+        ]
+
+    # -- state transitions ----------------------------------------------
+
+    def _set_gauge(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("quarantine.devices").set(
+                len(self.quarantined)
+            )
+
+    def quarantine(
+        self, device_index: int, cause: Exception, *, session_id=None
+    ) -> bool:
+        """Isolate ``device_index``; returns False if already isolated."""
+        if device_index in self.quarantined:
+            return False
+        now_us = self.service.clock.now_us
+        self.quarantined.add(device_index)
+        self.quarantines += 1
+        cause_name = type(cause).__name__
+        if self._metrics is not None:
+            self._metrics.counter("quarantine.quarantined").inc()
+            self._metrics.counter(
+                "quarantine.quarantined",
+                device=str(device_index),
+                cause=cause_name,
+            ).inc()
+        self._set_gauge()
+        for executor in self._executors:
+            executor.breakers[device_index].force_open()
+        if self._flight is not None and session_id is not None:
+            self._flight.note(
+                session_id, "event", "quarantine.quarantined", now_us,
+                device=device_index, cause=cause_name,
+            )
+            self._flight.seal_if_triggered(
+                session_id, cause_name, str(cause), now_us
+            )
+        return True
+
+    def release(self, device_index: int) -> bool:
+        """Re-admit a repaired device (operator action, not automatic)."""
+        if device_index not in self.quarantined:
+            return False
+        self.quarantined.discard(device_index)
+        self.releases += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "quarantine.released", device=str(device_index)
+            ).inc()
+        self._set_gauge()
+        for executor in self._executors:
+            executor.breakers[device_index].record_success()
+        return True
+
+    # -- healing --------------------------------------------------------
+
+    def _repair_sync_if_stale(self) -> None:
+        """Replay sync history when the shared ORAM missed a block.
+
+        An equivocated sync leaves ``last_verified_root`` behind the
+        node's root at the claimed height; any other audit failure
+        leaves it current, making the replay a no-op we skip.  The
+        ``blocks_synced`` guard avoids a spurious replay on deployments
+        that never synced (root is ``None`` until the first
+        ``sync_block``).
+        """
+        service = self.service
+        device = service.devices[0]
+        if device.oram_backend is None or service.stats.blocks_synced == 0:
+            return
+        tip_root = service.node.block_at(
+            service.synced_height
+        ).block.header.state_root
+        if device.hypervisor.last_verified_root == tip_root:
+            return
+        replayed = service.repair_sync()
+        self.resyncs += 1
+        if self._metrics is not None:
+            self._metrics.counter("quarantine.resynced").inc()
+            self._metrics.counter(
+                "quarantine.resynced_blocks"
+            ).inc(replayed)
+
+    def heal(
+        self, bundle: FailoverBundle, from_index: int, *, session_id=None
+    ):
+        """Re-execute an audited-bad bundle on a healthy device.
+
+        Returns ``(target_index, sealed_out)``.  Raises
+        :class:`~repro.faults.errors.QuarantinedDeviceError` when no
+        healthy session-holding device remains — the caller's signal to
+        shed the request rather than serve a tainted result.
+        """
+        self._repair_sync_if_stale()
+        target = None
+        for index in bundle.device_indices:
+            device = self.service.devices[index]
+            if (
+                index != from_index
+                and index not in self.quarantined
+                and device.idle_hevms > 0
+            ):
+                target = index
+                break
+        if target is None:
+            error = QuarantinedDeviceError(
+                from_index, tuple(self.quarantined)
+            )
+            if self._flight is not None and session_id is not None:
+                self._flight.seal_if_triggered(
+                    session_id, type(error).__name__, str(error),
+                    self.service.clock.now_us,
+                )
+            raise error
+        sealed_out, _, _, _ = self.service.submit_bundle(
+            self.service.devices[target],
+            bundle.session_for(target),
+            bundle.seal_for(target),
+        )
+        self.heals += 1
+        if self._metrics is not None:
+            self._metrics.counter("quarantine.healed").inc()
+            self._metrics.counter(
+                "quarantine.healed",
+                from_device=str(from_index),
+                to_device=str(target),
+            ).inc()
+        return target, sealed_out
+
+
 class ResilientServiceExecutor:
     """A drop-in for :class:`~repro.serving.gateway.ServiceExecutor`
     that retries, circuit-breaks, and fails over.
@@ -246,6 +441,9 @@ class ResilientServiceExecutor:
         self.slots: list[int | None] = []
         for index, device in enumerate(service.devices):
             self.slots.extend([index] * device.config.hevm_count)
+        # Set by QuarantinePolicy.bind(); None keeps the historical
+        # behaviour (and the byte-identity of unquarantined runs).
+        self.quarantine: QuarantinePolicy | None = None
 
     # -- one attempt ----------------------------------------------------
 
@@ -271,6 +469,8 @@ class ResilientServiceExecutor:
         if not hasattr(payload, "seal_for"):
             return None  # single-session payload: nowhere else to go
         allowed = set(payload.device_indices)
+        if self.quarantine is not None:
+            allowed -= self.quarantine.quarantined
         picked = self.service.try_pick_device()
         if picked is not None:
             index = self.service.devices.index(picked)
@@ -388,6 +588,7 @@ __all__ = [
     "RECOVERABLE_ERRORS",
     "CircuitBreaker",
     "FailoverBundle",
+    "QuarantinePolicy",
     "RecoveryOutcome",
     "ResilientServiceExecutor",
     "RetryPolicy",

@@ -36,9 +36,20 @@ from repro.hypervisor.channel import SealedMessage, SecureChannel
 from repro.hypervisor.resumption import TicketSealer, TicketState, ticket_header
 from repro.hypervisor.scheduler import HevmScheduler
 from repro.hypervisor.sync import BlockSynchronizer
+from repro.hypervisor.receipts import (
+    ReceiptMissingError,
+    SignedReceipt,
+    make_receipt,
+)
 from repro.oram.adapter import ObliviousStateBackend
 from repro.state.backend import StateBackend
 from repro.telemetry.tracer import tracer_for
+from repro.telemetry.unified import (
+    MerkleProof,
+    StepTraceRecord,
+    UnifiedStepTrace,
+    from_struct_logs,
+)
 
 
 @dataclass
@@ -56,6 +67,10 @@ class SecurityFeatures:
     # otherwise correlates with contract code size — see the
     # fingerprinting benchmark).
     query_padding: bool = False
+    # Extension (ROADMAP receipts item): sign the Merkle commitment of
+    # every transaction's step trace per completed bundle, so users can
+    # spot-check results against their own node (repro.hypervisor.receipts).
+    receipts: bool = False
 
     @classmethod
     def from_level(cls, level: str) -> "SecurityFeatures":
@@ -218,6 +233,12 @@ class Hypervisor:
         # low gas limits because the gas cost approximately represents
         # the computing resource consumption."
         self.max_bundle_gas = max_bundle_gas
+        # Receipts plane (features.receipts): per-bundle signed trace
+        # commitments plus the retained step traces that serve Merkle
+        # openings to auditors.  Bounded: oldest bundle evicted first.
+        self._receipts: dict[bytes, SignedReceipt] = {}
+        self._receipt_traces: dict[bytes, tuple[UnifiedStepTrace, ...]] = {}
+        self._receipt_cap = 512
 
     # ------------------------------------------------------------------
     # Crash modelling
@@ -521,7 +542,7 @@ class Hypervisor:
         # the core — scrub it and return it to the pool, then let the
         # typed error propagate to the recovery layer.
         try:
-            results, breakdowns, run_stats, _ = core.run_bundle(
+            results, breakdowns, run_stats, struct_logs = core.run_bundle(
                 list(bundle.transactions),
                 chain,
                 self._direct_backend,
@@ -531,8 +552,17 @@ class Hypervisor:
                 prefetch_enabled=self.features.prefetch,
                 charge_fees=charge_fees,
                 query_padding=self.features.query_padding,
+                # Step traces feed the signed receipt; collecting them is
+                # clock- and span-invisible, so receipts-off runs stay
+                # byte-identical.
+                struct_trace=self.features.receipts,
             )
             if self.faults is not None:
+                # Byzantine seam: a lying device falsifies results (and
+                # keeps its own trace self-consistent with the lie).
+                results, struct_logs = self.faults.on_hevm_result(
+                    results, struct_logs, self.clock.now_us
+                )
                 # Crash point B: power loss after execution finished but
                 # before the trace was sealed — the client never sees a
                 # result, yet the ORAM already absorbed the accesses.
@@ -549,6 +579,20 @@ class Hypervisor:
             abort_reason=run_stats.abort_reason,
         )
         encoded = encode_trace_report(report)
+
+        # Receipts plane: commit and sign every transaction's step trace.
+        # RFC 6979 signing draws no randomness and the receipt travels
+        # out of band (not channel-sealed), so nonce counters, clock,
+        # spans, and metrics are untouched — byte-identity preserved.
+        if self.features.receipts and session.signing_key is not None:
+            unified = tuple(from_struct_logs(logs) for logs in struct_logs)
+            receipt = make_receipt(
+                bundle.bundle_id(), unified, session.signing_key
+            )
+            if self.faults is not None:
+                receipt = self.faults.on_receipt(receipt, self.clock.now_us)
+            if receipt is not None:
+                self._store_receipt(bundle.bundle_id(), receipt, unified)
 
         # Step 9: seal and send the trace.
         if self.features.encryption:
@@ -568,6 +612,44 @@ class Hypervisor:
         self.stats.bundles_executed += 1
         self.stats.transactions_executed += len(results)
         return sealed_out, breakdowns, run_stats
+
+    # ------------------------------------------------------------------
+    # Receipts plane (repro.hypervisor.receipts)
+    # ------------------------------------------------------------------
+
+    def _store_receipt(
+        self,
+        bundle_id: bytes,
+        receipt: SignedReceipt,
+        traces: tuple[UnifiedStepTrace, ...],
+    ) -> None:
+        self._receipts[bundle_id] = receipt
+        self._receipt_traces[bundle_id] = traces
+        while len(self._receipts) > self._receipt_cap:
+            oldest = next(iter(self._receipts))
+            del self._receipts[oldest]
+            del self._receipt_traces[oldest]
+
+    def receipt_for(self, bundle_id: bytes) -> SignedReceipt | None:
+        """The signed receipt for a completed bundle (None if withheld,
+        evicted, or receipts are disabled)."""
+        return self._receipts.get(bundle_id)
+
+    def receipt_opening(
+        self, bundle_id: bytes, tx_index: int, step_index: int
+    ) -> tuple[StepTraceRecord, MerkleProof]:
+        """Open one committed step for an auditor.
+
+        Served from the *device's* retained trace — a tampering device
+        answers consistently with the root it signed, so openings alone
+        never expose it; the auditor's comparison against node ground
+        truth is what does.
+        """
+        traces = self._receipt_traces.get(bundle_id)
+        if traces is None:
+            raise ReceiptMissingError(bundle_id)
+        trace = traces[tx_index]
+        return trace.records[step_index], trace.open_step(step_index)
 
     def _charge_channel_crypto(
         self, size_bytes: int, signed: bool, direction: str = "seal", channel=None

@@ -27,6 +27,7 @@ class RejectReason:
     CONCURRENCY_LIMIT = "concurrency-limit"     # global outstanding cap
     SHED_QUEUE_DEPTH = "shed-queue-depth"       # load shedding threshold
     DEADLINE_EXPIRED = "deadline-expired"       # timed out while queued
+    QUARANTINED_CAPACITY = "quarantined-capacity"  # shed: devices quarantined
 
     ALL = (
         QUEUE_FULL,
@@ -35,6 +36,7 @@ class RejectReason:
         CONCURRENCY_LIMIT,
         SHED_QUEUE_DEPTH,
         DEADLINE_EXPIRED,
+        QUARANTINED_CAPACITY,
     )
 
 

@@ -154,14 +154,25 @@ class ServiceExecutor:
     ) -> tuple[float, Any]:
         if request.device_index is None:
             raise ValueError("service-path requests are session/device bound")
-        payload = request.payload() if callable(request.payload) else request.payload
+        # Re-sealable payloads (FailoverBundle) seal late for whichever
+        # device the request ended up on — the quarantine re-route in
+        # ``Gateway.submit`` relies on this.
+        if hasattr(request.payload, "seal_for"):
+            session_id = request.payload.session_for(request.device_index)
+            payload = request.payload.seal_for(request.device_index)
+        else:
+            session_id = request.session_id
+            payload = (
+                request.payload() if callable(request.payload)
+                else request.payload
+            )
         device = self.service.devices[request.device_index]
         # Bridge clock domains: spans recorded on the device SimClock are
         # shifted so they render inside this request's gateway interval.
         tracer = tracer_for(self.service.clock)
         with tracer.shifted(start_us - self.service.clock.now_us):
             sealed_out, elapsed, _breakdowns, _run_stats = self.service.submit_bundle(
-                device, request.session_id, payload
+                device, session_id, payload
             )
         return elapsed, sealed_out
 
@@ -216,6 +227,7 @@ class Gateway:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         flight: Any = None,
+        quarantine: Any = None,
     ) -> None:
         self.executor = executor
         self.config = config or GatewayConfig()
@@ -226,6 +238,11 @@ class Gateway:
         # seal the failing session's ring into a deterministic dump.
         # Pure bookkeeping — no clock or metric effects when armed.
         self.flight = flight
+        # Optional repro.faults.policy.QuarantinePolicy: quarantined
+        # devices' slots are skipped (degraded serving with shrunken
+        # capacity) and overflow sheds with a typed reason.  ``None``
+        # preserves the historical behaviour bit-for-bit.
+        self.quarantine = quarantine
         self._now_us = 0.0
         self._sequence = 0
         # (priority, sequence, request): FIFO within a priority level.
@@ -325,6 +342,21 @@ class Gateway:
             )
             request.trace = TraceContext(root=root)
 
+        # Degraded serving: a request bound to a quarantined device is
+        # re-routed onto a healthy device the payload holds a session on
+        # (FailoverBundle payloads re-seal per device); single-session
+        # payloads have nowhere else to go and shed typed below.
+        if (
+            self.quarantine is not None
+            and request.device_index is not None
+            and self.quarantine.is_quarantined(request.device_index)
+            and hasattr(request.payload, "seal_for")
+        ):
+            for index in request.payload.device_indices:
+                if not self.quarantine.is_quarantined(index):
+                    request.device_index = index
+                    break
+
         reason = self._admission_reason(request)
         if reason is not None:
             request.status = RequestStatus.REJECTED
@@ -366,8 +398,22 @@ class Gateway:
         return True
 
     def _admission_reason(self, request: GatewayRequest) -> str | None:
+        degraded = self.quarantine is not None and self.quarantine.any_quarantined
         if self._queued_count >= self.config.max_queue_depth:
+            # Under quarantine the queue backs up *because* capacity
+            # shrank — name the real cause so clients distinguish
+            # degraded mode from ordinary overload.
+            if degraded:
+                return RejectReason.QUARANTINED_CAPACITY
             return RejectReason.QUEUE_FULL
+        if (
+            degraded
+            and request.device_index is not None
+            and self.quarantine.is_quarantined(request.device_index)
+        ):
+            # Still pointed at a quarantined device after re-routing:
+            # no healthy device holds a session for this payload.
+            return RejectReason.QUARANTINED_CAPACITY
         cap = self.config.max_in_flight_per_session
         if cap is not None and self.session_load(request.session_id) >= cap:
             return RejectReason.SESSION_LIMIT
@@ -517,6 +563,12 @@ class Gateway:
     def _take_slot(self, device_index: int | None) -> int | None:
         for position, slot in enumerate(self._free_slots):
             slot_device = self.executor.slots[slot]
+            if (
+                self.quarantine is not None
+                and slot_device is not None
+                and self.quarantine.is_quarantined(slot_device)
+            ):
+                continue  # degraded serving: quarantined slots sit idle
             if (
                 device_index is None
                 or slot_device is None

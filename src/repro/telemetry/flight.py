@@ -27,8 +27,18 @@ from dataclasses import dataclass, field
 
 #: Typed failures that seal a dump.  Names, not classes: the recorder
 #: sits below every plane it observes and must not import them.
+#: The receipt-audit trio are Byzantine verdicts (a device provably
+#: lied or every failover target is gone) — exactly the moments an
+#: operator wants the last seconds of session history preserved.
 SEAL_CAUSES = frozenset(
-    {"BundleFailedError", "StaleTicketError", "ShardUnavailableError"}
+    {
+        "BundleFailedError",
+        "StaleTicketError",
+        "ShardUnavailableError",
+        "ReceiptMismatchError",
+        "ReceiptMissingError",
+        "QuarantinedDeviceError",
+    }
 )
 
 

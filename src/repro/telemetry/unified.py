@@ -130,6 +130,79 @@ def _merkle_root(leaves: list[bytes]) -> str:
     return level[0].hex()
 
 
+@dataclass(frozen=True, slots=True)
+class MerkleProof:
+    """An O(log n) membership path from one leaf to the commitment root.
+
+    ``path`` carries one entry per tree level, bottom-up.  Each entry is
+    ``("L", digest)`` when the sibling is hashed on the left of the
+    running node, ``("R", digest)`` when on the right, and ``("P", b"")``
+    where the running node was the odd one out and promoted unhashed —
+    mirroring :func:`_merkle_root` exactly, domains included.
+    """
+
+    index: int
+    leaf: bytes
+    path: tuple[tuple[str, bytes], ...]
+
+    @property
+    def hash_ops(self) -> int:
+        """sha256 invocations a verification costs (the audit-cost unit)."""
+        return 1 + sum(1 for side, _ in self.path if side != "P")
+
+
+def merkle_proof(leaves: list[bytes], index: int) -> MerkleProof:
+    """Open ``leaves[index]`` against the root :func:`_merkle_root` builds."""
+    if not 0 <= index < len(leaves):
+        raise IndexError(
+            f"leaf index {index} out of range for {len(leaves)} leaves"
+        )
+    level = [
+        hashlib.sha256(_LEAF_DOMAIN + leaf).digest() for leaf in leaves
+    ]
+    path: list[tuple[str, bytes]] = []
+    pos = index
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(
+                hashlib.sha256(
+                    _NODE_DOMAIN + level[i] + level[i + 1]
+                ).digest()
+            )
+        odd = len(level) % 2
+        if odd:
+            nxt.append(level[-1])
+        if odd and pos == len(level) - 1:
+            path.append(("P", b""))
+            pos = len(nxt) - 1
+        elif pos % 2 == 0:
+            path.append(("R", level[pos + 1]))
+            pos //= 2
+        else:
+            path.append(("L", level[pos - 1]))
+            pos //= 2
+        level = nxt
+    return MerkleProof(index=index, leaf=leaves[index], path=tuple(path))
+
+
+def verify_merkle_proof(proof: MerkleProof, root: str) -> bool:
+    """Does ``proof`` open its leaf against ``root``?  Pure hashing —
+    cost is ``proof.hash_ops`` sha256 calls, O(log n) in trace length."""
+    node = hashlib.sha256(_LEAF_DOMAIN + proof.leaf).digest()
+    for side, sibling in proof.path:
+        if side == "P":
+            if sibling != b"":
+                return False
+        elif side == "R":
+            node = hashlib.sha256(_NODE_DOMAIN + node + sibling).digest()
+        elif side == "L":
+            node = hashlib.sha256(_NODE_DOMAIN + sibling + node).digest()
+        else:
+            return False
+    return node.hex() == root
+
+
 @dataclass(frozen=True)
 class UnifiedStepTrace:
     """The committed representation: ordered steps + Merkle commitment."""
@@ -150,6 +223,14 @@ class UnifiedStepTrace:
     def commitment(self) -> str:
         """Merkle root over the leaf encodings (hex sha256)."""
         return _merkle_root([r.leaf_bytes() for r in self.records])
+
+    def open_step(self, index: int) -> MerkleProof:
+        """Membership proof for step ``index`` against :meth:`commitment`.
+
+        Prover-side: the holder of the full trace pays O(n) to build the
+        path; the verifier then pays only ``proof.hash_ops`` ∈ O(log n).
+        """
+        return merkle_proof([r.leaf_bytes() for r in self.records], index)
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +324,7 @@ def reconcile_step_traces(
                         index=exp.index,
                     )
     root = expected.commitment()
-    if root != actual.commitment():  # pragma: no cover - records imply root
+    if root != actual.commitment():
         raise TraceReconciliationError(
             "identical records produced different commitments",
             field="commitment",
@@ -282,6 +363,7 @@ def reconcile_counts(
 
 
 __all__ = [
+    "MerkleProof",
     "StepTraceRecord",
     "TraceReconciliationError",
     "UnifiedStepTrace",
@@ -290,6 +372,8 @@ __all__ = [
     "counts_from_trace",
     "from_struct_logs",
     "group_for_op",
+    "merkle_proof",
     "reconcile_step_traces",
     "reconcile_counts",
+    "verify_merkle_proof",
 ]

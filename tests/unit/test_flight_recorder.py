@@ -64,9 +64,13 @@ class TestRing:
 class TestSealing:
     def test_seal_causes_are_the_typed_failures(self):
         assert SEAL_CAUSES == {
-            "BundleFailedError", "StaleTicketError", "ShardUnavailableError"
+            "BundleFailedError", "StaleTicketError", "ShardUnavailableError",
+            # Byzantine verdicts from the receipt-audit plane.
+            "ReceiptMismatchError", "ReceiptMissingError",
+            "QuarantinedDeviceError",
         }
         assert FlightRecorder.should_seal("StaleTicketError")
+        assert FlightRecorder.should_seal("ReceiptMismatchError")
         assert not FlightRecorder.should_seal("ValueError")
 
     def test_seal_freezes_the_ring(self):

@@ -1,0 +1,242 @@
+"""Unit tests for repro.hypervisor.receipts: signing, auditing, cost."""
+
+import pytest
+
+from repro.crypto.ecc import PrivateKey, Signature
+from repro.hypervisor.receipts import (
+    RECEIPT_DOMAIN,
+    AuditReport,
+    ReceiptAuditor,
+    ReceiptMismatchError,
+    ReceiptMissingError,
+    make_receipt,
+    receipt_signing_hash,
+)
+from repro.telemetry.unified import (
+    StepTraceRecord,
+    UnifiedStepTrace,
+    group_for_op,
+    reconcile_step_traces,
+    TraceReconciliationError,
+)
+
+pytestmark = pytest.mark.byzantine
+
+_OPS = ("PUSH1", "ADD", "MSTORE", "SLOAD", "JUMPDEST")
+
+
+def _trace(length: int, gas0: int = 100_000) -> UnifiedStepTrace:
+    return UnifiedStepTrace(records=tuple(
+        StepTraceRecord(
+            index=i, depth=1, pc=2 * i, op=_OPS[i % len(_OPS)],
+            group=group_for_op(_OPS[i % len(_OPS)]), gas=gas0 - 3 * i,
+        )
+        for i in range(length)
+    ))
+
+
+@pytest.fixture
+def signing_key():
+    return PrivateKey(0xC0FFEE)
+
+
+@pytest.fixture
+def verify_key(signing_key):
+    return signing_key.public_key()
+
+
+BUNDLE_ID = b"\xabcd-bundle-0001"
+
+
+class TestSigning:
+    def test_signing_hash_is_domain_separated(self):
+        digest = receipt_signing_hash(BUNDLE_ID, ("ab" * 32,))
+        assert len(digest) == 32
+        assert RECEIPT_DOMAIN == b"hardtape.receipt.v1"
+        # Sensitive to bundle id, commitment bytes, and count.
+        assert digest != receipt_signing_hash(b"x" * 16, ("ab" * 32,))
+        assert digest != receipt_signing_hash(BUNDLE_ID, ("cd" * 32,))
+        assert digest != receipt_signing_hash(
+            BUNDLE_ID, ("ab" * 32, "ab" * 32)
+        )
+
+    def test_make_receipt_signs_the_commitments(
+        self, signing_key, verify_key
+    ):
+        traces = [_trace(5), _trace(3)]
+        receipt = make_receipt(BUNDLE_ID, traces, signing_key)
+        assert receipt.commitments == tuple(
+            trace.commitment() for trace in traces
+        )
+        receipt.verify(verify_key)  # does not raise
+
+    def test_signing_is_deterministic(self, signing_key):
+        a = make_receipt(BUNDLE_ID, [_trace(4)], signing_key)
+        b = make_receipt(BUNDLE_ID, [_trace(4)], signing_key)
+        assert a == b
+
+
+class TestAuditor:
+    def _audit(self, auditor, receipt, traces, verify_key, opening=None):
+        return auditor.audit(
+            BUNDLE_ID, receipt, traces,
+            verify_key=verify_key, opening=opening,
+        )
+
+    def test_clean_receipt_passes_with_openings(
+        self, signing_key, verify_key
+    ):
+        traces = [_trace(7)]
+        receipt = make_receipt(BUNDLE_ID, traces, signing_key)
+        auditor = ReceiptAuditor(samples_per_tx=2, seed=3)
+        report = self._audit(
+            auditor, receipt, traces, verify_key,
+            opening=lambda t, s: (
+                traces[t].records[s], traces[t].open_step(s)
+            ),
+        )
+        assert isinstance(report, AuditReport)
+        assert report.steps_total == 7
+        assert report.steps_sampled == 2
+        assert report.signature_checks == 1
+        assert report.hash_ops > 0
+        assert (auditor.audits_passed, auditor.audits_failed) == (1, 0)
+
+    def test_missing_receipt(self, verify_key):
+        auditor = ReceiptAuditor()
+        with pytest.raises(ReceiptMissingError) as excinfo:
+            self._audit(auditor, None, [_trace(3)], verify_key)
+        assert excinfo.value.bundle_id == BUNDLE_ID
+        assert auditor.audits_failed == 1
+
+    def test_wrong_bundle_id(self, signing_key, verify_key):
+        receipt = make_receipt(b"other-bundle-002", [_trace(3)], signing_key)
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(ReceiptAuditor(), receipt, [_trace(3)], verify_key)
+        assert excinfo.value.field == "bundle_id"
+
+    def test_forged_signature(self, signing_key, verify_key):
+        from dataclasses import replace
+
+        receipt = make_receipt(BUNDLE_ID, [_trace(3)], signing_key)
+        forged = replace(
+            receipt,
+            signature=Signature(
+                receipt.signature.r ^ 1, receipt.signature.s
+            ),
+        )
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(ReceiptAuditor(), forged, [_trace(3)], verify_key)
+        assert excinfo.value.field == "signature"
+
+    def test_count_mismatch(self, signing_key, verify_key):
+        receipt = make_receipt(BUNDLE_ID, [_trace(3)], signing_key)
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(
+                ReceiptAuditor(), receipt, [_trace(3), _trace(2)], verify_key
+            )
+        assert excinfo.value.field == "count"
+
+    def test_tampered_trace_fails_the_commitment(
+        self, signing_key, verify_key
+    ):
+        # The device signs a self-consistent but wrong trace: one step's
+        # gas is off by one versus ground truth.
+        lied = _trace(6, gas0=100_001)
+        receipt = make_receipt(BUNDLE_ID, [lied], signing_key)
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(ReceiptAuditor(), receipt, [_trace(6)], verify_key)
+        assert excinfo.value.field == "commitment"
+        assert excinfo.value.tx_index == 0
+
+    def test_opening_that_disagrees_with_ground_truth(
+        self, signing_key, verify_key
+    ):
+        traces = [_trace(6)]
+        receipt = make_receipt(BUNDLE_ID, traces, signing_key)
+        wrong = _trace(6, gas0=99_999)
+
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(
+                ReceiptAuditor(samples_per_tx=1, seed=0), receipt, traces,
+                verify_key,
+                opening=lambda t, s: (
+                    wrong.records[s], wrong.open_step(s)
+                ),
+            )
+        assert excinfo.value.field == "step"
+
+    def test_opening_proving_a_different_leaf(
+        self, signing_key, verify_key
+    ):
+        traces = [_trace(6)]
+        receipt = make_receipt(BUNDLE_ID, traces, signing_key)
+
+        # Honest record, but the proof opens a *different* index.
+        def shifted(t, s):
+            other = (s + 1) % 6
+            return traces[t].records[s], traces[t].open_step(other)
+
+        with pytest.raises(ReceiptMismatchError) as excinfo:
+            self._audit(
+                ReceiptAuditor(samples_per_tx=1, seed=0), receipt, traces,
+                verify_key, opening=shifted,
+            )
+        assert excinfo.value.field == "proof"
+
+    def test_sampling_is_seeded(self, signing_key, verify_key):
+        traces = [_trace(32)]
+        receipt = make_receipt(BUNDLE_ID, traces, signing_key)
+
+        def sampled(seed):
+            opened = []
+            ReceiptAuditor(samples_per_tx=4, seed=seed).audit(
+                BUNDLE_ID, receipt, traces, verify_key=verify_key,
+                opening=lambda t, s: (
+                    opened.append(s) or traces[t].records[s],
+                    traces[t].open_step(s),
+                ),
+            )
+            return opened
+
+        assert sampled(7) == sampled(7)
+        assert sampled(7) != sampled(8)
+
+    def test_spot_check_cost_is_logarithmic(self):
+        auditor = ReceiptAuditor(seed=1)
+        costs = {}
+        for length in (64, 4096):
+            trace = _trace(length)
+            checked, hash_ops = auditor.spot_check(
+                trace, trace.commitment(), samples=8
+            )
+            assert checked == 8
+            costs[length] = hash_ops
+        # 64x more steps must cost far less than 64x more hashing.
+        assert costs[4096] < 4 * costs[64]
+
+    def test_spot_check_rejects_a_wrong_root(self):
+        trace = _trace(16)
+        with pytest.raises(ReceiptMismatchError):
+            ReceiptAuditor(seed=1).spot_check(trace, "00" * 32, samples=1)
+
+    def test_empty_trace_spot_check_is_free(self):
+        trace = _trace(0)
+        assert ReceiptAuditor().spot_check(
+            trace, trace.commitment(), samples=4
+        ) == (0, 0)
+
+
+class TestReconcileCommitmentBranch:
+    def test_lying_commitment_with_equal_records_is_caught(self):
+        # The belt-and-braces branch: records compare equal step by step
+        # but a subclass lies about the root it derived from them.
+        class _Lying(UnifiedStepTrace):
+            def commitment(self) -> str:
+                return "0" * 64
+
+        honest = _trace(4)
+        lying = _Lying(records=honest.records)
+        with pytest.raises(TraceReconciliationError) as excinfo:
+            reconcile_step_traces(honest, lying)
+        assert excinfo.value.field == "commitment"
